@@ -1,0 +1,200 @@
+//! Adaptive adversaries that react to the observed on/off behaviour.
+//!
+//! The impossibility proof for energy cap 2 at injection rate 1 (paper §3.2,
+//! Lemma 1 and Theorem 2) constructs an adversary that exploits switched-off
+//! stations: a packet can only be delivered in a round when its destination
+//! is on, and with cap 2 there is a single receiver slot per round, so an
+//! adversary that keeps addressing stations that are currently asleep forces
+//! coordination overhead that rate 1 cannot absorb.
+//!
+//! [`SleeperTargeting`] operationalises that construction: it injects into
+//! the station that has been switched on least, addressed to the station
+//! that has been asleep longest. Against any cap-2 algorithm at rate 1 the
+//! queues must grow without bound (Theorem 2); the experiment harness
+//! measures the growth slope.
+
+use emac_sim::{Adversary, Injection, Round, StationId, SystemView};
+
+/// Injects into the least-on station, addressed to the longest-asleep
+/// station (excluding the source). Deterministic; ties break to smaller
+/// names.
+#[derive(Clone, Debug, Default)]
+pub struct SleeperTargeting;
+
+impl SleeperTargeting {
+    /// A fresh adversary.
+    pub fn new() -> Self {
+        Self
+    }
+
+    fn pick(view: &SystemView<'_>) -> (StationId, StationId) {
+        // Source: station switched on the fewest cumulative rounds.
+        let source = (0..view.n)
+            .min_by_key(|&s| (view.on_counts[s], s))
+            .expect("n >= 2");
+        // Destination: station asleep the longest (never-on first), != source.
+        let dest = (0..view.n)
+            .filter(|&s| s != source)
+            .min_by_key(|&s| (view.last_on[s].map_or(-1i64, |r| r as i64), s))
+            .expect("n >= 2");
+        (source, dest)
+    }
+}
+
+impl Adversary for SleeperTargeting {
+    fn plan(&mut self, _round: Round, budget: usize, view: &SystemView<'_>) -> Vec<Injection> {
+        if budget == 0 {
+            return Vec::new();
+        }
+        let (source, dest) = Self::pick(view);
+        (0..budget).map(|_| Injection::new(source, dest)).collect()
+    }
+}
+
+/// The two-case adversary of Lemma 1, literalised: it maintains a *victim*
+/// station `s` that never has packets addressed to it, and injects one
+/// packet per round into a fixed other station `s1`, addressed to `s2`
+/// (Case II of the lemma). Whenever the victim switches on, the adversary
+/// re-picks the victim as the station that has now been asleep longest,
+/// forcing the algorithm to keep spending its two on-slots probing for
+/// traffic that never involves the victim.
+#[derive(Clone, Debug)]
+pub struct Lemma1Adversary {
+    victim: Option<StationId>,
+}
+
+impl Lemma1Adversary {
+    /// A fresh adversary; the victim is chosen at the first round.
+    pub fn new() -> Self {
+        Self { victim: None }
+    }
+}
+
+impl Default for Lemma1Adversary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Adversary for Lemma1Adversary {
+    fn plan(&mut self, _round: Round, budget: usize, view: &SystemView<'_>) -> Vec<Injection> {
+        // (Re-)pick the victim if unset or it woke up last round.
+        let need_new = match self.victim {
+            None => true,
+            Some(v) => view.prev_awake[v],
+        };
+        if need_new {
+            self.victim = (0..view.n)
+                .min_by_key(|&s| (view.last_on[s].map_or(-1i64, |r| r as i64), s));
+        }
+        let victim = self.victim.expect("n >= 2");
+        if budget == 0 {
+            return Vec::new();
+        }
+        // Inject into s1, addressed to s2, both different from the victim.
+        let mut others = (0..view.n).filter(|&s| s != victim);
+        let s1 = others.next().expect("n >= 3 for the lemma's construction");
+        let s2 = others.next().unwrap_or(s1);
+        (0..budget.min(1)).map(|_| Injection::new(s1, s2)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sleeper_targets_never_on_station() {
+        let qs = vec![0; 4];
+        let pa = vec![false; 4];
+        let oc = vec![5u64, 0, 3, 2];
+        let lo = vec![Some(9), None, Some(4), Some(8)];
+        let v = SystemView {
+            round: 10,
+            n: 4,
+            queue_sizes: &qs,
+            prev_awake: &pa,
+            on_counts: &oc,
+            last_on: &lo,
+        };
+        let mut a = SleeperTargeting::new();
+        let plan = a.plan(10, 2, &v);
+        assert_eq!(plan.len(), 2);
+        // source = station 1 (0 on-rounds), dest = station 1 is excluded, so
+        // the longest asleep among the rest is station 2 (last on at 4).
+        assert!(plan.iter().all(|i| i.station == 1 && i.dest == 2));
+    }
+
+    #[test]
+    fn sleeper_source_and_dest_differ() {
+        let qs = vec![0; 2];
+        let pa = vec![false; 2];
+        let oc = vec![0u64, 0];
+        let lo = vec![None, None];
+        let v = SystemView {
+            round: 0,
+            n: 2,
+            queue_sizes: &qs,
+            prev_awake: &pa,
+            on_counts: &oc,
+            last_on: &lo,
+        };
+        let plan = SleeperTargeting::new().plan(0, 1, &v);
+        assert_eq!(plan[0].station, 0);
+        assert_eq!(plan[0].dest, 1);
+    }
+
+    #[test]
+    fn lemma1_repicks_victim_on_wake() {
+        let qs = vec![0; 4];
+        let oc = vec![0u64; 4];
+        let mut a = Lemma1Adversary::new();
+
+        // Round 0: nobody was on; victim becomes station 0, injections avoid it.
+        let pa0 = vec![false; 4];
+        let lo0 = vec![None; 4];
+        let v0 = SystemView {
+            round: 0,
+            n: 4,
+            queue_sizes: &qs,
+            prev_awake: &pa0,
+            on_counts: &oc,
+            last_on: &lo0,
+        };
+        let p0 = a.plan(0, 1, &v0);
+        assert_eq!(p0, vec![Injection::new(1, 2)]);
+
+        // Victim 0 switched on in the previous round -> repick; station 3
+        // has never been on and becomes the new victim.
+        let pa1 = vec![true, false, false, false];
+        let lo1 = vec![Some(5), Some(1), Some(2), None];
+        let v1 = SystemView {
+            round: 6,
+            n: 4,
+            queue_sizes: &qs,
+            prev_awake: &pa1,
+            on_counts: &oc,
+            last_on: &lo1,
+        };
+        let p1 = a.plan(6, 1, &v1);
+        assert_eq!(p1, vec![Injection::new(0, 1)]);
+    }
+
+    #[test]
+    fn adversaries_respect_zero_budget() {
+        let qs = vec![0; 3];
+        let pa = vec![false; 3];
+        let oc = vec![0u64; 3];
+        let lo = vec![None; 3];
+        let v = SystemView {
+            round: 0,
+            n: 3,
+            queue_sizes: &qs,
+            prev_awake: &pa,
+            on_counts: &oc,
+            last_on: &lo,
+        };
+        assert!(SleeperTargeting::new().plan(0, 0, &v).is_empty());
+        assert!(Lemma1Adversary::new().plan(0, 0, &v).is_empty());
+    }
+}

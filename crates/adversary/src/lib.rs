@@ -1,0 +1,42 @@
+//! # emac-adversary — adversarial packet injection for shared channels
+//!
+//! Implementations of the leaky-bucket adversary model of *"Energy Efficient
+//! Adversarial Routing in Shared Channels"* (Chlebus et al., SPAA 2019).
+//! An adversary of type `(ρ, β)` may inject at most `ρ·t + β` packets in
+//! every window of `t` rounds; the budget itself is enforced by the
+//! simulator's [`emac_sim::LeakyBucket`] — this crate supplies the *shape*
+//! of the traffic:
+//!
+//! * [`patterns`] — concentrated, spread, oscillating and bursty workloads;
+//! * [`adaptive`] — adversaries reacting to observed on/off behaviour,
+//!   operationalising the paper's cap-2 impossibility (Theorem 2);
+//! * [`oblivious_attack`] — schedule-aware floods realising the
+//!   double-counting lower bounds (Theorems 6 and 9);
+//! * [`scripted`] — replayable traces for unit tests and regressions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod oblivious_attack;
+pub mod patterns;
+pub mod piecewise;
+pub mod scripted;
+
+pub use adaptive::{Lemma1Adversary, SleeperTargeting};
+pub use oblivious_attack::{LeastOnPair, LeastOnStation};
+pub use patterns::{Alternating, Bursty, RoundRobinLoad, SingleTarget, SpreadFromOne, UniformRandom};
+pub use piecewise::{Piecewise, Segment};
+pub use scripted::{Event, Scripted};
+
+/// Common adversary imports.
+pub mod prelude {
+    pub use crate::adaptive::{Lemma1Adversary, SleeperTargeting};
+    pub use crate::oblivious_attack::{LeastOnPair, LeastOnStation};
+    pub use crate::patterns::{
+        Alternating, Bursty, RoundRobinLoad, SingleTarget, SpreadFromOne, UniformRandom,
+    };
+    pub use crate::piecewise::{Piecewise, Segment};
+    pub use crate::scripted::{Event, Scripted};
+    pub use emac_sim::{Adversary, NoInjections};
+}

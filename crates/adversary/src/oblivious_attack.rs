@@ -1,0 +1,181 @@
+//! Schedule-aware adversaries against energy-oblivious algorithms.
+//!
+//! An energy-oblivious algorithm fixes, before the execution starts, the
+//! rounds in which every station is switched on. The adversary knows the
+//! algorithm (paper §2, "Knowledge"), hence knows the schedule, and the
+//! paper's two lower bounds are double-counting arguments over it:
+//!
+//! * **Theorem 6**: over any window of `t` rounds some station is on for at
+//!   most `kt/n` rounds; flooding it at rate `ρ > k/n` leaves
+//!   `t(ρ − k/n)` packets stranded — [`LeastOnStation`].
+//! * **Theorem 9** (direct routing): some ordered pair `(w, z)` is
+//!   co-scheduled for at most `k(k−1)/(n(n−1))·t` rounds; injecting into `w`
+//!   packets addressed to `z` at a higher rate is unstable —
+//!   [`LeastOnPair`].
+//!
+//! Both adversaries analyse the schedule over one period (or a caller-given
+//! horizon) at construction time and then flood the weakest point.
+
+use std::rc::Rc;
+
+use emac_sim::{Adversary, Injection, OnSchedule, Round, StationId, SystemView};
+
+/// Floods the station with the fewest scheduled on-rounds over a horizon
+/// (Theorem 6's construction). Destinations rotate over the other stations
+/// so the instability cannot be attributed to one overloaded receiver.
+pub struct LeastOnStation {
+    target: StationId,
+    n: usize,
+    counter: u64,
+}
+
+impl LeastOnStation {
+    /// Analyse `schedule` over `[0, horizon)` for a system of `n` stations
+    /// and pick the least-on station. `horizon` should be a multiple of the
+    /// schedule's period when one exists.
+    pub fn new(schedule: &Rc<dyn OnSchedule>, n: usize, horizon: Round) -> Self {
+        let mut counts = vec![0u64; n];
+        for r in 0..horizon {
+            for s in schedule.on_set(n, r) {
+                counts[s] += 1;
+            }
+        }
+        let target = (0..n).min_by_key(|&s| (counts[s], s)).expect("n >= 2");
+        Self { target, n, counter: 0 }
+    }
+
+    /// The station being flooded.
+    pub fn target(&self) -> StationId {
+        self.target
+    }
+}
+
+impl Adversary for LeastOnStation {
+    fn plan(&mut self, _round: Round, budget: usize, _view: &SystemView<'_>) -> Vec<Injection> {
+        let n = self.n as u64;
+        (0..budget)
+            .map(|_| {
+                self.counter += 1;
+                let off = 1 + self.counter % (n - 1);
+                Injection::new(self.target, ((self.target as u64 + off) % n) as StationId)
+            })
+            .collect()
+    }
+}
+
+/// Floods the ordered station pair `(w, z)` that is co-scheduled least over
+/// a horizon (Theorem 9's construction): all packets are injected into `w`
+/// and addressed to `z`, so a direct algorithm can only deliver them in the
+/// rare rounds where both are on.
+pub struct LeastOnPair {
+    source: StationId,
+    dest: StationId,
+}
+
+impl LeastOnPair {
+    /// Analyse `schedule` over `[0, horizon)` and pick the least
+    /// co-scheduled ordered pair of distinct stations.
+    pub fn new(schedule: &Rc<dyn OnSchedule>, n: usize, horizon: Round) -> Self {
+        let mut co = vec![0u64; n * n];
+        for r in 0..horizon {
+            let on = schedule.on_set(n, r);
+            for &a in &on {
+                for &b in &on {
+                    if a != b {
+                        co[a * n + b] += 1;
+                    }
+                }
+            }
+        }
+        let mut best = (0, 1);
+        let mut best_count = u64::MAX;
+        for w in 0..n {
+            for z in 0..n {
+                if w != z && co[w * n + z] < best_count {
+                    best_count = co[w * n + z];
+                    best = (w, z);
+                }
+            }
+        }
+        Self { source: best.0, dest: best.1 }
+    }
+
+    /// The pair being flooded, as (source, destination).
+    pub fn pair(&self) -> (StationId, StationId) {
+        (self.source, self.dest)
+    }
+}
+
+impl Adversary for LeastOnPair {
+    fn plan(&mut self, _round: Round, budget: usize, _view: &SystemView<'_>) -> Vec<Injection> {
+        (0..budget).map(|_| Injection::new(self.source, self.dest)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy schedule: stations 0 and 1 are on in even rounds; station 2 is on
+    /// in rounds divisible by 4 together with station 0.
+    struct Toy;
+    impl OnSchedule for Toy {
+        fn is_on(&self, station: StationId, round: Round) -> bool {
+            match station {
+                0 => round.is_multiple_of(2),
+                1 => round.is_multiple_of(2) && !round.is_multiple_of(4),
+                2 => round.is_multiple_of(4),
+                _ => false,
+            }
+        }
+    }
+
+    #[test]
+    fn least_on_station_finds_starved_station() {
+        let s: Rc<dyn OnSchedule> = Rc::new(Toy);
+        // counts over 8 rounds: s0 = 4 (0,2,4,6), s1 = 2 (2,6), s2 = 2 (0,4),
+        // s3 = 0.
+        let a = LeastOnStation::new(&s, 4, 8);
+        assert_eq!(a.target(), 3);
+    }
+
+    #[test]
+    fn least_on_station_ties_break_low() {
+        let s: Rc<dyn OnSchedule> = Rc::new(Toy);
+        let a = LeastOnStation::new(&s, 3, 8); // s1 and s2 both on twice
+        assert_eq!(a.target(), 1);
+    }
+
+    #[test]
+    fn least_on_pair_finds_never_co_scheduled_pair() {
+        let s: Rc<dyn OnSchedule> = Rc::new(Toy);
+        // pairs: (0,1) co-on at rounds 2,6; (0,2) at 0,4; (1,2) never.
+        let a = LeastOnPair::new(&s, 3, 8);
+        assert_eq!(a.pair(), (1, 2));
+    }
+
+    #[test]
+    fn flood_plans_fill_budget_and_avoid_self() {
+        let s: Rc<dyn OnSchedule> = Rc::new(Toy);
+        let qs = vec![0; 4];
+        let pa = vec![false; 4];
+        let oc = vec![0u64; 4];
+        let lo = vec![None; 4];
+        let v = SystemView {
+            round: 0,
+            n: 4,
+            queue_sizes: &qs,
+            prev_awake: &pa,
+            on_counts: &oc,
+            last_on: &lo,
+        };
+        let mut a = LeastOnStation::new(&s, 4, 8);
+        let plan = a.plan(0, 6, &v);
+        assert_eq!(plan.len(), 6);
+        assert!(plan.iter().all(|i| i.station == 3 && i.dest != 3));
+
+        let mut p = LeastOnPair::new(&s, 3, 8);
+        let plan = p.plan(0, 4, &v);
+        assert!(plan.iter().all(|i| (i.station, i.dest) == (1, 2)));
+    }
+}

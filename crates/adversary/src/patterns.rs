@@ -1,0 +1,306 @@
+//! Stateless and lightly-stateful injection patterns.
+//!
+//! The adversary is restricted only by its leaky-bucket type `(ρ, β)`
+//! (paper §2); everything else — which stations receive injections and what
+//! the destinations are — is the adversary's choice. These patterns cover
+//! the workloads used throughout the experiments: concentrated load (one
+//! source, one destination), spread load (round-robin, uniform random),
+//! oscillating load, and periodic bursts.
+//!
+//! Every pattern injects as much as its policy wants *up to the engine's
+//! budget*, so the realised traffic always saturates the declared type when
+//! the policy is greedy.
+
+use emac_sim::{Adversary, Injection, Round, StationId, SystemView};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Greedy single-pair flooding: every available token becomes a packet
+/// injected into `into`, destined to `dest`.
+///
+/// This is the concentrated workload the paper's lower bounds use (inject
+/// into one station, all packets to one destination), and the hardest case
+/// for algorithms that drain one station at a time.
+#[derive(Clone, Debug)]
+pub struct SingleTarget {
+    /// Station packets are injected into.
+    pub into: StationId,
+    /// Destination carried by every packet.
+    pub dest: StationId,
+}
+
+impl SingleTarget {
+    /// Flood `into` with packets for `dest`. The two must differ (a packet
+    /// injected into its own destination is consumed for free).
+    pub fn new(into: StationId, dest: StationId) -> Self {
+        assert_ne!(into, dest, "self-addressed floods are free to deliver");
+        Self { into, dest }
+    }
+}
+
+impl Adversary for SingleTarget {
+    fn plan(&mut self, _round: Round, budget: usize, _view: &SystemView<'_>) -> Vec<Injection> {
+        (0..budget).map(|_| Injection::new(self.into, self.dest)).collect()
+    }
+}
+
+/// Round-robin spreading: sources and destinations both rotate over all
+/// stations, never self-addressed. The smoothest possible workload.
+#[derive(Clone, Debug, Default)]
+pub struct RoundRobinLoad {
+    counter: u64,
+}
+
+impl RoundRobinLoad {
+    /// A fresh rotation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Adversary for RoundRobinLoad {
+    fn plan(&mut self, _round: Round, budget: usize, view: &SystemView<'_>) -> Vec<Injection> {
+        let n = view.n as u64;
+        (0..budget)
+            .map(|_| {
+                let c = self.counter;
+                self.counter += 1;
+                let station = (c % n) as StationId;
+                // rotate destination offset through 1..n to avoid self
+                let off = 1 + (c / n) % (n - 1);
+                Injection::new(station, ((c + off) % n) as StationId)
+            })
+            .collect()
+    }
+}
+
+/// Uniformly random sources and destinations (never self-addressed),
+/// deterministic under a seed.
+#[derive(Clone, Debug)]
+pub struct UniformRandom {
+    rng: SmallRng,
+}
+
+impl UniformRandom {
+    /// Seeded uniform traffic.
+    pub fn new(seed: u64) -> Self {
+        Self { rng: SmallRng::seed_from_u64(seed) }
+    }
+}
+
+impl Adversary for UniformRandom {
+    fn plan(&mut self, _round: Round, budget: usize, view: &SystemView<'_>) -> Vec<Injection> {
+        let n = view.n;
+        (0..budget)
+            .map(|_| {
+                let station = self.rng.random_range(0..n);
+                let mut dest = self.rng.random_range(0..n - 1);
+                if dest >= station {
+                    dest += 1;
+                }
+                Injection::new(station, dest)
+            })
+            .collect()
+    }
+}
+
+/// Oscillating concentration: floods pair `a` for `period` rounds, then
+/// pair `b`, and so on. Exercises algorithms whose state (baton lists,
+/// schedules) must chase moving hot spots.
+#[derive(Clone, Debug)]
+pub struct Alternating {
+    /// First (into, dest) pair.
+    pub a: (StationId, StationId),
+    /// Second (into, dest) pair.
+    pub b: (StationId, StationId),
+    /// Rounds before switching pairs.
+    pub period: u64,
+}
+
+impl Alternating {
+    /// Alternate between two injection pairs every `period` rounds.
+    pub fn new(a: (StationId, StationId), b: (StationId, StationId), period: u64) -> Self {
+        assert!(period > 0);
+        assert_ne!(a.0, a.1);
+        assert_ne!(b.0, b.1);
+        Self { a, b, period }
+    }
+}
+
+impl Adversary for Alternating {
+    fn plan(&mut self, round: Round, budget: usize, _view: &SystemView<'_>) -> Vec<Injection> {
+        let (into, dest) = if (round / self.period).is_multiple_of(2) { self.a } else { self.b };
+        (0..budget).map(|_| Injection::new(into, dest)).collect()
+    }
+}
+
+/// Periodic bursts: silent for `period − 1` rounds (letting the bucket fill
+/// to β), then injects the entire accumulated budget at once, rotating over
+/// destinations. Maximises burstiness within the declared type.
+#[derive(Clone, Debug)]
+pub struct Bursty {
+    /// Rounds between bursts.
+    pub period: u64,
+    /// Station packets are injected into.
+    pub into: StationId,
+    counter: u64,
+}
+
+impl Bursty {
+    /// Bursts into `into` every `period` rounds.
+    pub fn new(into: StationId, period: u64) -> Self {
+        assert!(period > 0);
+        Self { period, into, counter: 0 }
+    }
+}
+
+impl Adversary for Bursty {
+    fn plan(&mut self, round: Round, budget: usize, view: &SystemView<'_>) -> Vec<Injection> {
+        if !round.is_multiple_of(self.period) {
+            return Vec::new();
+        }
+        let n = view.n as u64;
+        (0..budget)
+            .map(|_| {
+                self.counter += 1;
+                let mut dest = (self.counter % n) as StationId;
+                if dest == self.into {
+                    dest = (dest + 1) % view.n;
+                }
+                Injection::new(self.into, dest)
+            })
+            .collect()
+    }
+}
+
+/// All injections into one station, destinations rotating over every other
+/// station. Concentrated source, spread sinks.
+#[derive(Clone, Debug)]
+pub struct SpreadFromOne {
+    /// Station packets are injected into.
+    pub into: StationId,
+    counter: u64,
+}
+
+impl SpreadFromOne {
+    /// Flood `into`, rotating destinations.
+    pub fn new(into: StationId) -> Self {
+        Self { into, counter: 0 }
+    }
+}
+
+impl Adversary for SpreadFromOne {
+    fn plan(&mut self, _round: Round, budget: usize, view: &SystemView<'_>) -> Vec<Injection> {
+        let n = view.n as u64;
+        (0..budget)
+            .map(|_| {
+                self.counter += 1;
+                let off = 1 + self.counter % (n - 1);
+                Injection::new(self.into, ((self.into as u64 + off) % n) as StationId)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view<'a>(
+        n: usize,
+        qs: &'a [usize],
+        pa: &'a [bool],
+        oc: &'a [u64],
+        lo: &'a [Option<Round>],
+    ) -> SystemView<'a> {
+        SystemView { round: 0, n, queue_sizes: qs, prev_awake: pa, on_counts: oc, last_on: lo }
+    }
+
+    macro_rules! mkview {
+        ($n:expr) => {{
+            (vec![0usize; $n], vec![false; $n], vec![0u64; $n], vec![None; $n])
+        }};
+    }
+
+    #[test]
+    fn single_target_fills_budget() {
+        let (qs, pa, oc, lo) = mkview!(4);
+        let v = view(4, &qs, &pa, &oc, &lo);
+        let mut a = SingleTarget::new(1, 3);
+        let plan = a.plan(0, 5, &v);
+        assert_eq!(plan.len(), 5);
+        assert!(plan.iter().all(|i| i.station == 1 && i.dest == 3));
+    }
+
+    #[test]
+    fn round_robin_never_self_addresses() {
+        let (qs, pa, oc, lo) = mkview!(5);
+        let v = view(5, &qs, &pa, &oc, &lo);
+        let mut a = RoundRobinLoad::new();
+        for r in 0..50 {
+            for inj in a.plan(r, 3, &v) {
+                assert_ne!(inj.station, inj.dest);
+                assert!(inj.dest < 5);
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_spreads_over_sources() {
+        let (qs, pa, oc, lo) = mkview!(4);
+        let v = view(4, &qs, &pa, &oc, &lo);
+        let mut a = RoundRobinLoad::new();
+        let plan = a.plan(0, 8, &v);
+        let mut counts = [0usize; 4];
+        for inj in plan {
+            counts[inj.station] += 1;
+        }
+        assert_eq!(counts, [2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn uniform_random_is_deterministic_per_seed() {
+        let (qs, pa, oc, lo) = mkview!(6);
+        let v = view(6, &qs, &pa, &oc, &lo);
+        let p1 = UniformRandom::new(7).plan(0, 20, &v);
+        let p2 = UniformRandom::new(7).plan(0, 20, &v);
+        let p3 = UniformRandom::new(8).plan(0, 20, &v);
+        assert_eq!(p1, p2);
+        assert_ne!(p1, p3);
+        assert!(p1.iter().all(|i| i.station != i.dest));
+    }
+
+    #[test]
+    fn alternating_switches_pairs() {
+        let (qs, pa, oc, lo) = mkview!(4);
+        let v = view(4, &qs, &pa, &oc, &lo);
+        let mut a = Alternating::new((0, 1), (2, 3), 10);
+        assert_eq!(a.plan(5, 1, &v)[0], Injection::new(0, 1));
+        assert_eq!(a.plan(15, 1, &v)[0], Injection::new(2, 3));
+        assert_eq!(a.plan(25, 1, &v)[0], Injection::new(0, 1));
+    }
+
+    #[test]
+    fn bursty_is_silent_off_beat() {
+        let (qs, pa, oc, lo) = mkview!(4);
+        let v = view(4, &qs, &pa, &oc, &lo);
+        let mut a = Bursty::new(0, 8);
+        assert!(a.plan(1, 5, &v).is_empty());
+        assert_eq!(a.plan(8, 5, &v).len(), 5);
+        assert!(a.plan(9, 5, &v).is_empty());
+    }
+
+    #[test]
+    fn spread_from_one_covers_all_destinations() {
+        let (qs, pa, oc, lo) = mkview!(4);
+        let v = view(4, &qs, &pa, &oc, &lo);
+        let mut a = SpreadFromOne::new(2);
+        let mut seen = std::collections::HashSet::new();
+        for inj in a.plan(0, 9, &v) {
+            assert_eq!(inj.station, 2);
+            assert_ne!(inj.dest, 2);
+            seen.insert(inj.dest);
+        }
+        assert_eq!(seen.len(), 3);
+    }
+}

@@ -1,0 +1,121 @@
+//! Piecewise adversaries: compose traffic shapes over time.
+//!
+//! Real workloads mix regimes — office hours then idle nights, steady load
+//! then failure bursts. [`Piecewise`] drives a sequence of sub-adversaries,
+//! each for a fixed number of rounds, optionally cycling. The leaky-bucket
+//! type is enforced globally by the engine, so the composition is always a
+//! legal `(ρ, β)` adversary.
+
+use emac_sim::{Adversary, Injection, Round, SystemView};
+
+/// One segment of a piecewise adversary.
+pub struct Segment {
+    /// How many rounds this segment drives.
+    pub rounds: u64,
+    /// The traffic shape during the segment.
+    pub adversary: Box<dyn Adversary>,
+}
+
+impl Segment {
+    /// A segment of `rounds` rounds.
+    pub fn new(rounds: u64, adversary: Box<dyn Adversary>) -> Self {
+        assert!(rounds > 0);
+        Self { rounds, adversary }
+    }
+}
+
+/// Plays its segments in order; after the last one either repeats from the
+/// first (cyclic) or stays silent.
+pub struct Piecewise {
+    segments: Vec<Segment>,
+    period: u64,
+    cyclic: bool,
+}
+
+impl Piecewise {
+    /// Segments played once, silence afterwards.
+    pub fn once(segments: Vec<Segment>) -> Self {
+        Self::build(segments, false)
+    }
+
+    /// Segments repeated forever.
+    pub fn cycle(segments: Vec<Segment>) -> Self {
+        Self::build(segments, true)
+    }
+
+    fn build(segments: Vec<Segment>, cyclic: bool) -> Self {
+        assert!(!segments.is_empty());
+        let period = segments.iter().map(|s| s.rounds).sum();
+        Self { segments, period, cyclic }
+    }
+
+    fn segment_at(&mut self, round: Round) -> Option<&mut Segment> {
+        let mut r = if self.cyclic { round % self.period } else { round };
+        for seg in &mut self.segments {
+            if r < seg.rounds {
+                return Some(seg);
+            }
+            r -= seg.rounds;
+        }
+        None // non-cyclic, past the end
+    }
+}
+
+impl Adversary for Piecewise {
+    fn plan(&mut self, round: Round, budget: usize, view: &SystemView<'_>) -> Vec<Injection> {
+        match self.segment_at(round) {
+            Some(seg) => seg.adversary.plan(round, budget, view),
+            None => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::SingleTarget;
+
+    fn view(n: usize) -> (Vec<usize>, Vec<bool>, Vec<u64>, Vec<Option<Round>>) {
+        (vec![0; n], vec![false; n], vec![0; n], vec![None; n])
+    }
+
+    fn plan_at(p: &mut Piecewise, round: Round) -> Vec<Injection> {
+        let (qs, pa, oc, lo) = view(4);
+        let v = SystemView {
+            round,
+            n: 4,
+            queue_sizes: &qs,
+            prev_awake: &pa,
+            on_counts: &oc,
+            last_on: &lo,
+        };
+        p.plan(round, 1, &v)
+    }
+
+    #[test]
+    fn switches_segments_at_boundaries() {
+        let mut p = Piecewise::once(vec![
+            Segment::new(10, Box::new(SingleTarget::new(0, 1))),
+            Segment::new(10, Box::new(SingleTarget::new(2, 3))),
+        ]);
+        assert_eq!(plan_at(&mut p, 0), vec![Injection::new(0, 1)]);
+        assert_eq!(plan_at(&mut p, 9), vec![Injection::new(0, 1)]);
+        assert_eq!(plan_at(&mut p, 10), vec![Injection::new(2, 3)]);
+        assert_eq!(plan_at(&mut p, 19), vec![Injection::new(2, 3)]);
+        // once-through: silent afterwards
+        assert!(plan_at(&mut p, 20).is_empty());
+        assert!(plan_at(&mut p, 1_000).is_empty());
+    }
+
+    #[test]
+    fn cyclic_composition_repeats() {
+        let mut p = Piecewise::cycle(vec![
+            Segment::new(5, Box::new(SingleTarget::new(0, 1))),
+            Segment::new(5, Box::new(SingleTarget::new(2, 3))),
+        ]);
+        assert_eq!(plan_at(&mut p, 0)[0].station, 0);
+        assert_eq!(plan_at(&mut p, 7)[0].station, 2);
+        assert_eq!(plan_at(&mut p, 10)[0].station, 0);
+        assert_eq!(plan_at(&mut p, 1_000_007)[0].station, 2);
+    }
+}

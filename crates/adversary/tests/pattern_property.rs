@@ -1,0 +1,89 @@
+//! Properties every adversary implementation must satisfy: injections stay
+//! in range, are never self-addressed (self-addressed packets are free),
+//! and the plan never exceeds the budget it was offered.
+
+use emac_adversary::prelude::*;
+use emac_sim::{Adversary, Round, SystemView};
+use proptest::prelude::*;
+
+fn make_adversaries(n: usize, seed: u64) -> Vec<(&'static str, Box<dyn Adversary>)> {
+    vec![
+        ("single-target", Box::new(SingleTarget::new(0, n - 1))),
+        ("round-robin", Box::new(RoundRobinLoad::new())),
+        ("uniform", Box::new(UniformRandom::new(seed))),
+        ("alternating", Box::new(Alternating::new((0, 1), (n - 1, n - 2), 7))),
+        ("bursty", Box::new(Bursty::new(1 % n, 13))),
+        ("spread-from-one", Box::new(SpreadFromOne::new(n / 2))),
+        ("sleeper", Box::new(SleeperTargeting::new())),
+        ("lemma1", Box::new(Lemma1Adversary::new())),
+        (
+            "piecewise",
+            Box::new(Piecewise::cycle(vec![
+                Segment::new(11, Box::new(SingleTarget::new(0, 1))),
+                Segment::new(7, Box::new(RoundRobinLoad::new())),
+            ])),
+        ),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn all_patterns_are_well_formed(
+        n in 3usize..12,
+        seed in 0u64..500,
+        budgets in proptest::collection::vec(0usize..6, 1..80),
+    ) {
+        for (name, mut adv) in make_adversaries(n, seed) {
+            let queue_sizes = vec![3usize; n];
+            let mut prev_awake = vec![false; n];
+            prev_awake[0] = true;
+            let mut on_counts = vec![1u64; n];
+            on_counts[n - 1] = 9;
+            let last_on: Vec<Option<Round>> = (0..n).map(|i| Some(i as u64)).collect();
+            for (r, &budget) in budgets.iter().enumerate() {
+                let view = SystemView {
+                    round: r as Round,
+                    n,
+                    queue_sizes: &queue_sizes,
+                    prev_awake: &prev_awake,
+                    on_counts: &on_counts,
+                    last_on: &last_on,
+                };
+                let plan = adv.plan(r as Round, budget, &view);
+                prop_assert!(plan.len() <= budget + 1, "{name}: plan over budget");
+                for inj in &plan {
+                    prop_assert!(inj.station < n, "{name}: station out of range");
+                    prop_assert!(inj.dest < n, "{name}: dest out of range");
+                    prop_assert!(inj.station != inj.dest, "{name}: self-addressed");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scripted_is_exactly_the_script(
+        triples in proptest::collection::vec((0u64..60, 0usize..5, 0usize..5), 0..40),
+    ) {
+        let script: Vec<(u64, usize, usize)> =
+            triples.into_iter().filter(|&(_, s, d)| s != d).collect();
+        let mut adv = Scripted::from_triples(&script);
+        let queue_sizes = vec![0usize; 5];
+        let prev_awake = vec![false; 5];
+        let on_counts = vec![0u64; 5];
+        let last_on = vec![None; 5];
+        let mut emitted = 0usize;
+        for r in 0..200u64 {
+            let view = SystemView {
+                round: r,
+                n: 5,
+                queue_sizes: &queue_sizes,
+                prev_awake: &prev_awake,
+                on_counts: &on_counts,
+                last_on: &last_on,
+            };
+            emitted += adv.plan(r, 3, &view).len();
+        }
+        prop_assert_eq!(emitted, script.len());
+        prop_assert!(adv.exhausted());
+    }
+}

@@ -1,0 +1,183 @@
+//! Generate the figure-style CSV series (F1–F5 in DESIGN.md). The paper
+//! itself has no figures — its evaluation is Table 1 — so these series
+//! visualise the behaviours behind the bounds: bounded vs unbounded queue
+//! growth, the 1/(1−ρ) latency blow-up, scaling in n, the stability
+//! frontier of an oblivious algorithm, and the energy–latency trade-off.
+//!
+//! ```text
+//! cargo run --release -p emac-bench --bin figures
+//! # series land in results/*.csv
+//! ```
+
+use emac_adversary::{SingleTarget, UniformRandom};
+use emac_bench::write_csv;
+use emac_core::prelude::*;
+use emac_core::Runner;
+use emac_sim::Rate;
+
+fn main() -> std::io::Result<()> {
+    f1_queue_growth()?;
+    f2_latency_vs_rho()?;
+    f3_latency_vs_n()?;
+    f4_stability_frontier()?;
+    f5_energy_tradeoff()?;
+    println!("wrote results/f1..f5 CSV series");
+    Ok(())
+}
+
+/// F1: queue size over time at rho = 1 — Orchestra (cap 3, bounded) vs
+/// Count-Hop (cap 2, provably unbounded).
+fn f1_queue_growth() -> std::io::Result<()> {
+    let n = 6;
+    let rounds = 120_000;
+    let orch = Runner::new(n)
+        .rate(Rate::one())
+        .beta(2)
+        .rounds(rounds)
+        .run(&Orchestra::new(), Box::new(SingleTarget::new(0, 2)));
+    let ch = Runner::new(n)
+        .rate(Rate::one())
+        .beta(2)
+        .rounds(rounds)
+        .run(&CountHop::new(), Box::new(SingleTarget::new(0, 2)));
+    let rows: Vec<String> = orch
+        .metrics
+        .queue_series
+        .iter()
+        .zip(ch.metrics.queue_series.iter())
+        .map(|(a, b)| format!("{},{},{}", a.round, a.total_queued, b.total_queued))
+        .collect();
+    println!(
+        "F1: Orchestra slope {:+.4}, Count-Hop slope {:+.4}",
+        orch.stability.slope, ch.stability.slope
+    );
+    write_csv("results/f1_queue_growth.csv", "round,orchestra_cap3,counthop_cap2", &rows)
+}
+
+/// F2: latency vs rho for the two universal algorithms (hyperbolic shape).
+fn f2_latency_vs_rho() -> std::io::Result<()> {
+    let mut rows = Vec::new();
+    for p in [1u64, 2, 3, 4, 5, 6, 7, 8, 9] {
+        let rho = Rate::new(p, 10);
+        let n = 4;
+        let ch = Runner::new(n)
+            .rate(rho)
+            .beta(2)
+            .rounds(120_000)
+            .run(&CountHop::new(), Box::new(UniformRandom::new(p)));
+        let w = emac_core::adjust_window::WindowCfg::first(n);
+        let aw = Runner::new(n)
+            .rate(rho)
+            .beta(2)
+            .rounds(10 * w.l)
+            .run(&AdjustWindow::new(), Box::new(UniformRandom::new(p)));
+        rows.push(format!("{},{},{}", rho.as_f64(), ch.latency(), aw.latency()));
+        println!("F2: rho={:.1} count-hop {} adjust-window {}", rho.as_f64(), ch.latency(), aw.latency());
+    }
+    write_csv("results/f2_latency_vs_rho.csv", "rho,counthop_latency,adjustwindow_latency", &rows)
+}
+
+/// F3: latency vs n at a load scaled to each algorithm's regime.
+fn f3_latency_vs_n() -> std::io::Result<()> {
+    let beta = 2u64;
+    let mut rows = Vec::new();
+    for n in [6usize, 9, 12, 16] {
+        let k = 3usize;
+        let ch = Runner::new(n)
+            .rate(Rate::new(1, 2))
+            .beta(beta)
+            .rounds(150_000)
+            .run(&CountHop::new(), Box::new(UniformRandom::new(1)));
+        let kc = Runner::new(n)
+            .rate(bounds::k_cycle_rate_threshold(n as u64, k as u64).scaled(4, 5))
+            .beta(beta)
+            .rounds(200_000)
+            .run(&KCycle::new(k), Box::new(UniformRandom::new(2)));
+        let kq = Runner::new(n)
+            .rate(bounds::k_clique_rate_for_latency(n as u64, 4))
+            .beta(beta)
+            .rounds(400_000)
+            .run(&KClique::new(4), Box::new(UniformRandom::new(3)));
+        rows.push(format!("{n},{},{},{}", ch.latency(), kc.latency(), kq.latency()));
+        println!(
+            "F3: n={n} count-hop {} k-cycle {} k-clique {}",
+            ch.latency(),
+            kc.latency(),
+            kq.latency()
+        );
+    }
+    write_csv(
+        "results/f3_latency_vs_n.csv",
+        "n,counthop_rho0.5,kcycle_k3_scaled,kclique_k4_scaled",
+        &rows,
+    )
+}
+
+/// F4: stability frontier of k-Cycle (n=9, k=3) under the least-on flood:
+/// the paper proves stability below (k−1)/(n−1) = 0.25 and instability
+/// above k/n ≈ 0.333; the sweep locates the empirical crossover.
+fn f4_stability_frontier() -> std::io::Result<()> {
+    let (n, k) = (9usize, 3usize);
+    let alg = KCycle::new(k);
+    let p = alg.params(n);
+    let horizon = p.delta() * p.groups() as u64;
+    let mut rows = Vec::new();
+    for num in 4..=11u64 {
+        let rho = Rate::new(num, 24); // 0.167 .. 0.458 around [0.25, 0.333]
+        let r = Runner::new(n).rate(rho).beta(2).rounds(250_000).run_against(&alg, |s| {
+            Box::new(emac_adversary::LeastOnStation::new(s.expect("oblivious"), n, horizon))
+        });
+        println!(
+            "F4: rho={:.3} slope {:+.4} {:?}",
+            rho.as_f64(),
+            r.stability.slope,
+            r.stability.verdict
+        );
+        rows.push(format!(
+            "{},{},{:?}",
+            rho.as_f64(),
+            r.stability.slope,
+            r.stability.verdict
+        ));
+    }
+    write_csv("results/f4_stability_frontier.csv", "rho,slope,verdict", &rows)
+}
+
+/// F5: energy–latency trade-off: latency vs cap k at a fixed small load,
+/// with measured energy per round.
+fn f5_energy_tradeoff() -> std::io::Result<()> {
+    let n = 12usize;
+    let rho = Rate::new(1, 50);
+    let mut rows = Vec::new();
+    for k in [3usize, 4, 5, 6] {
+        let kc = Runner::new(n)
+            .rate(rho)
+            .beta(2)
+            .rounds(200_000)
+            .run(&KCycle::new(k), Box::new(UniformRandom::new(4)));
+        let kq = Runner::new(n)
+            .rate(rho)
+            .beta(2)
+            .rounds(200_000)
+            .run(&KClique::new(k), Box::new(UniformRandom::new(5)));
+        println!(
+            "F5: k={k} k-cycle latency {} energy {:.2} | k-clique latency {} energy {:.2}",
+            kc.latency(),
+            kc.metrics.energy_per_round(),
+            kq.latency(),
+            kq.metrics.energy_per_round()
+        );
+        rows.push(format!(
+            "{k},{},{:.3},{},{:.3}",
+            kc.latency(),
+            kc.metrics.energy_per_round(),
+            kq.latency(),
+            kq.metrics.energy_per_round()
+        ));
+    }
+    write_csv(
+        "results/f5_energy_tradeoff.csv",
+        "k,kcycle_latency,kcycle_energy_per_round,kclique_latency,kclique_energy_per_round",
+        &rows,
+    )
+}

@@ -1,0 +1,153 @@
+//! # emac-bench — the Table-1 reproduction harness
+//!
+//! Shared helpers for the experiment binaries (`table1`, `figures`,
+//! `impossibility`, `ablations`) and the Criterion benches. Each Table-1
+//! row gets a comparison of a measured quantity against the paper's bound;
+//! the binaries print the rows and EXPERIMENTS.md records them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use emac_core::RunReport;
+
+/// One measured-vs-bound comparison line.
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    /// What was run (algorithm, parameters, adversary).
+    pub label: String,
+    /// Name of the measured quantity ("latency", "max queue", "slope").
+    pub metric: &'static str,
+    /// Measured value.
+    pub measured: f64,
+    /// The bound it is compared against (`None` for growth demos).
+    pub bound: Option<f64>,
+    /// Whether the run satisfied every model invariant.
+    pub clean: bool,
+    /// Stability verdict string.
+    pub verdict: String,
+}
+
+impl Comparison {
+    /// Compare a report's latency against a bound.
+    pub fn latency(label: impl Into<String>, report: &RunReport, bound: f64) -> Self {
+        Self {
+            label: label.into(),
+            metric: "latency",
+            measured: report.latency() as f64,
+            bound: Some(bound),
+            clean: report.clean(),
+            verdict: format!("{:?}", report.stability.verdict),
+        }
+    }
+
+    /// Compare a report's maximum queue against a bound.
+    pub fn queue(label: impl Into<String>, report: &RunReport, bound: f64) -> Self {
+        Self {
+            label: label.into(),
+            metric: "max queue",
+            measured: report.max_queue() as f64,
+            bound: Some(bound),
+            clean: report.clean(),
+            verdict: format!("{:?}", report.stability.verdict),
+        }
+    }
+
+    /// Report a queue-growth slope (impossibility rows).
+    pub fn slope(label: impl Into<String>, report: &RunReport) -> Self {
+        Self {
+            label: label.into(),
+            metric: "slope",
+            measured: report.stability.slope,
+            bound: None,
+            clean: report.clean(),
+            verdict: format!("{:?}", report.stability.verdict),
+        }
+    }
+
+    /// Whether the measured value respects the bound (always true for
+    /// bound-less comparisons).
+    pub fn within_bound(&self) -> bool {
+        self.bound.is_none_or(|b| self.measured <= b)
+    }
+
+    /// Render as a fixed-width table line.
+    pub fn line(&self) -> String {
+        let bound_txt = match self.bound {
+            Some(b) => format!("{:>12.1}", b),
+            None => format!("{:>12}", "-"),
+        };
+        let ratio = match self.bound {
+            Some(b) if b > 0.0 => format!("{:>6.2}x", self.measured / b),
+            _ => format!("{:>7}", "-"),
+        };
+        format!(
+            "  {:<58} {:>9} {:>12.3} {} {} {:<11} {}",
+            self.label,
+            self.metric,
+            self.measured,
+            bound_txt,
+            ratio,
+            self.verdict,
+            if self.clean { "clean" } else { "VIOLATIONS" },
+        )
+    }
+}
+
+/// Print a row header followed by its comparisons; returns whether all
+/// comparisons were clean and within bound.
+pub fn print_row(title: &str, comparisons: &[Comparison]) -> bool {
+    println!("\n{title}");
+    println!("{}", "-".repeat(title.len().min(100)));
+    let mut ok = true;
+    for c in comparisons {
+        println!("{}", c.line());
+        ok &= c.clean && c.within_bound();
+    }
+    ok
+}
+
+/// Write a CSV file, creating the parent directory.
+pub fn write_csv(path: &str, header: &str, rows: &[String]) -> std::io::Result<()> {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut out = String::with_capacity(rows.len() * 32 + header.len() + 1);
+    out.push_str(header);
+    out.push('\n');
+    for r in rows {
+        out.push_str(r);
+        out.push('\n');
+    }
+    std::fs::write(path, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(measured: f64, bound: Option<f64>) -> Comparison {
+        Comparison {
+            label: "x".into(),
+            metric: "latency",
+            measured,
+            bound,
+            clean: true,
+            verdict: "Stable".into(),
+        }
+    }
+
+    #[test]
+    fn within_bound_logic() {
+        assert!(dummy(5.0, Some(10.0)).within_bound());
+        assert!(!dummy(11.0, Some(10.0)).within_bound());
+        assert!(dummy(999.0, None).within_bound());
+    }
+
+    #[test]
+    fn line_formats_ratio() {
+        let l = dummy(5.0, Some(10.0)).line();
+        assert!(l.contains("0.50x"), "{l}");
+        let l = dummy(5.0, None).line();
+        assert!(l.contains(" - "), "{l}");
+    }
+}

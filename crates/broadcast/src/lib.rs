@@ -1,0 +1,34 @@
+//! # emac-broadcast — broadcast building blocks on multiple access channels
+//!
+//! The routing algorithms of *"Energy Efficient Adversarial Routing in
+//! Shared Channels"* (Chlebus et al., SPAA 2019) are built on top of three
+//! broadcast algorithms from the cited prior work, none of which has an
+//! open-source implementation; they are reconstructed here from their
+//! published descriptions:
+//!
+//! * [`rrw`] — **Round-Robin-Withholding** \[18\]: token in name order, a
+//!   holder transmits the packets it had at token receipt;
+//! * [`of_rrw`] — **Old-First RRW** \[3\]: phase-global old/new split; the
+//!   block embedded in `k-Cycle` and `k-Clique`;
+//! * [`mbtf`] — **Move-Big-To-Front** \[17\]: seasons, baton list and
+//!   bigness announcements; throughput 1 without energy caps; the paradigm
+//!   behind `Orchestra` and the subroutine of `k-Subsets`.
+//!
+//! The shared coordination state machines live in [`token`] (feedback-driven
+//! virtual token) and [`baton`] (move-big-to-front list); the energy-capped
+//! algorithms in `emac-core` reuse both.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baton;
+pub mod mbtf;
+pub mod of_rrw;
+pub mod rrw;
+pub mod token;
+
+pub use baton::BatonList;
+pub use mbtf::{build_mbtf, Mbtf};
+pub use of_rrw::{build_of_rrw, OfRrw};
+pub use rrw::{build_rrw, Rrw};
+pub use token::TokenRing;

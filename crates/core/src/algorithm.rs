@@ -1,0 +1,74 @@
+//! The common interface of the paper's routing algorithms.
+
+use emac_sim::{AlgorithmClass, BuiltAlgorithm};
+
+/// A deterministic distributed routing algorithm, parameterised by the
+/// system size `n` (and possibly an energy cap `k`), that can be
+/// instantiated into per-station protocol replicas.
+///
+/// Algorithms know `n` and the energy cap but never the adversary's type
+/// `(ρ, β)` (paper §2, "Knowledge").
+pub trait Algorithm {
+    /// Display name, including parameters (e.g. `k-Cycle(n=12, k=4)`).
+    fn name(&self) -> String;
+
+    /// The structural class claimed in Table 1; the simulator validates it.
+    fn class(&self) -> AlgorithmClass;
+
+    /// The minimum energy cap the algorithm needs to run on `n` stations.
+    fn required_cap(&self, n: usize) -> usize;
+
+    /// Instantiate protocol replicas for all `n` stations.
+    fn build(&self, n: usize) -> BuiltAlgorithm;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emac_sim::{Action, Effects, Feedback, IndexedQueue, Protocol, ProtocolCtx, Wake, WakeMode};
+
+    struct Idle;
+    impl Protocol for Idle {
+        fn act(&mut self, _: &ProtocolCtx, _: &IndexedQueue) -> Action {
+            Action::Listen
+        }
+        fn on_feedback(
+            &mut self,
+            _: &ProtocolCtx,
+            _: &IndexedQueue,
+            _: Feedback<'_>,
+            _: &mut Effects,
+        ) -> Wake {
+            Wake::Stay
+        }
+    }
+
+    struct Dummy;
+    impl Algorithm for Dummy {
+        fn name(&self) -> String {
+            "dummy".into()
+        }
+        fn class(&self) -> AlgorithmClass {
+            AlgorithmClass::NOBL_GEN_DIR
+        }
+        fn required_cap(&self, _n: usize) -> usize {
+            2
+        }
+        fn build(&self, n: usize) -> BuiltAlgorithm {
+            BuiltAlgorithm {
+                name: self.name(),
+                protocols: (0..n).map(|_| Box::new(Idle) as Box<dyn Protocol>).collect(),
+                wake: WakeMode::Adaptive,
+                class: self.class(),
+            }
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let alg: Box<dyn Algorithm> = Box::new(Dummy);
+        let built = alg.build(3);
+        assert_eq!(built.protocols.len(), 3);
+        assert_eq!(alg.required_cap(3), 2);
+    }
+}

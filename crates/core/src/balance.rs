@@ -1,0 +1,98 @@
+//! Balanced packet-to-thread allocation for `k-Subsets`.
+//!
+//! For each (source `v`, destination `w`) pair, station `v` spreads packets
+//! over the `C(n−2, k−2)` threads whose subset contains both endpoints,
+//! keeping the cumulative per-thread allocations "as balanced as possible"
+//! (paper §6): after any sequence of allocations the counts differ by at
+//! most 1 — the invariant Theorem 8's stability argument rests on, and
+//! which we property-test.
+
+/// Greedy balanced allocator over a fixed set of eligible threads.
+#[derive(Clone, Debug)]
+pub struct BalancedAllocator {
+    threads: Vec<u32>,
+    counts: Vec<u64>,
+}
+
+impl BalancedAllocator {
+    /// Allocator over the given eligible thread indices (must be non-empty;
+    /// kept in ascending order for deterministic tie-breaking).
+    pub fn new(mut threads: Vec<u32>) -> Self {
+        assert!(!threads.is_empty(), "a packet with no eligible thread cannot be routed");
+        threads.sort_unstable();
+        let counts = vec![0; threads.len()];
+        Self { threads, counts }
+    }
+
+    /// Allocate one packet: returns the chosen thread (least-loaded,
+    /// ties to the smallest thread index) and records it.
+    pub fn pick(&mut self) -> u32 {
+        let i = (0..self.counts.len())
+            .min_by_key(|&i| (self.counts[i], self.threads[i]))
+            .expect("non-empty");
+        self.counts[i] += 1;
+        self.threads[i]
+    }
+
+    /// Spread between the largest and smallest cumulative count.
+    pub fn imbalance(&self) -> u64 {
+        let max = *self.counts.iter().max().expect("non-empty");
+        let min = *self.counts.iter().min().expect("non-empty");
+        max - min
+    }
+
+    /// Total packets allocated.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_robins_when_fresh() {
+        let mut a = BalancedAllocator::new(vec![5, 2, 9]);
+        // ties break to the smallest thread index
+        assert_eq!(a.pick(), 2);
+        assert_eq!(a.pick(), 5);
+        assert_eq!(a.pick(), 9);
+        assert_eq!(a.pick(), 2);
+        assert_eq!(a.imbalance(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no eligible thread")]
+    fn empty_thread_set_rejected() {
+        BalancedAllocator::new(vec![]);
+    }
+
+    proptest! {
+        #[test]
+        fn imbalance_never_exceeds_one(
+            sizes in 1usize..20,
+            picks in 0usize..500,
+        ) {
+            let mut a = BalancedAllocator::new((0..sizes as u32).collect());
+            for _ in 0..picks {
+                a.pick();
+            }
+            prop_assert!(a.imbalance() <= 1);
+            prop_assert_eq!(a.total(), picks as u64);
+        }
+
+        #[test]
+        fn deterministic_across_replicas(threads in proptest::collection::vec(0u32..100, 1..10)) {
+            let mut t = threads.clone();
+            t.sort_unstable();
+            t.dedup();
+            let mut a = BalancedAllocator::new(t.clone());
+            let mut b = BalancedAllocator::new(t);
+            for _ in 0..50 {
+                prop_assert_eq!(a.pick(), b.pick());
+            }
+        }
+    }
+}

@@ -1,0 +1,478 @@
+//! `k-Subsets` — maximum-throughput energy-oblivious direct routing
+//! (paper §6).
+//!
+//! Fix an enumeration `A_0, …, A_{γ−1}` of all `γ = C(n,k)` subsets of `k`
+//! stations. Rounds of the form `i + jγ` make *thread* `i`; in thread `i`'s
+//! rounds exactly the stations of `A_i` are switched on — a fixed schedule,
+//! so the algorithm is `k`-energy-oblivious. Each thread runs its own
+//! instantiation of the MBTF broadcast algorithm \[17\] over the `k` stations
+//! of its subset, with dedicated per-thread queues.
+//!
+//! A station assigns each packet for destination `w` to one of the
+//! `C(n−2, k−2)` threads whose subset contains both endpoints, keeping the
+//! cumulative allocations balanced (max − min ≤ 1). Since the receiver is
+//! on in every round of the thread, routing is direct.
+//!
+//! Theorem 8: stable at injection rate exactly `k(k−1)/(n(n−1))` with at
+//! most `2·C(n,k)(n² + β)` queued packets; Theorem 9 shows no oblivious
+//! direct algorithm can beat that rate. The paper also notes that replacing
+//! MBTF by RRW yields bounded latency `Θ(γ(n + β))` for rates strictly
+//! below the threshold — available here as [`ThreadSubroutine::Rrw`].
+
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+use emac_broadcast::{BatonList, TokenRing};
+use emac_sim::{
+    Action, AlgorithmClass, BuiltAlgorithm, ControlBits, Effects, Feedback, IndexedQueue,
+    Message, OnSchedule, PacketId, Protocol, ProtocolCtx, Round, StationId, Wake, WakeMode,
+};
+
+use crate::algorithm::Algorithm;
+use crate::balance::BalancedAllocator;
+use crate::combinatorics::{combinations, subset_masks};
+
+/// Shared geometry: the subset enumeration and the thread schedule.
+#[derive(Debug)]
+pub struct KSubsetsParams {
+    n: usize,
+    k: usize,
+    subsets: Vec<Vec<StationId>>,
+    masks: Vec<u64>,
+}
+
+impl KSubsetsParams {
+    /// Geometry for `n ≤ 60` stations and cap `2 ≤ k < n`.
+    pub fn new(n: usize, k: usize) -> Self {
+        assert!(n <= 60, "subset bitmasks need n <= 60");
+        assert!(k >= 2 && k < n, "need 2 <= k < n");
+        let subsets = combinations(n, k);
+        let masks = subset_masks(&subsets);
+        Self { n, k, subsets, masks }
+    }
+
+    /// Number of threads `γ = C(n, k)` (the schedule period and phase
+    /// length).
+    pub fn gamma(&self) -> usize {
+        self.subsets.len()
+    }
+
+    /// Energy cap `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// System size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The thread executing in `round`.
+    pub fn thread_of_round(&self, round: Round) -> u32 {
+        (round % self.gamma() as u64) as u32
+    }
+
+    /// Whether `station ∈ A_t`.
+    pub fn in_subset(&self, t: u32, station: StationId) -> bool {
+        self.masks[t as usize] & (1 << station) != 0
+    }
+
+    /// Threads whose subset contains `station` (ascending).
+    pub fn threads_of(&self, station: StationId) -> Vec<u32> {
+        (0..self.gamma() as u32).filter(|&t| self.in_subset(t, station)).collect()
+    }
+}
+
+impl OnSchedule for KSubsetsParams {
+    fn is_on(&self, station: StationId, round: Round) -> bool {
+        self.in_subset(self.thread_of_round(round), station)
+    }
+
+    fn on_set(&self, _n: usize, round: Round) -> Vec<StationId> {
+        self.subsets[self.thread_of_round(round) as usize].clone()
+    }
+}
+
+/// Which broadcast algorithm each thread instantiates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ThreadSubroutine {
+    /// MBTF \[17\]: throughput 1 per thread, but possibly unbounded latency
+    /// (Table 1 row 8 reports latency ∞).
+    Mbtf,
+    /// RRW \[18\]: bounded latency `Θ(γ(n+β))` for rates strictly below the
+    /// threshold (paper §6 remark). Plain-packet.
+    Rrw,
+}
+
+/// One station's state for one thread it belongs to.
+struct ThreadState {
+    members: Vec<StationId>,
+    /// Packets of this station allocated to this thread (id, arrival).
+    queue: VecDeque<(PacketId, Round)>,
+    // MBTF state
+    baton: BatonList,
+    my_big: bool,
+    season_big: bool,
+    // RRW state
+    ring: TokenRing,
+    batch_marker: Round,
+}
+
+/// Per-station `k-Subsets` protocol.
+pub struct KSubsetsStation {
+    params: Rc<KSubsetsParams>,
+    mode: ThreadSubroutine,
+    threads: HashMap<u32, ThreadState>,
+    /// Per-destination balanced allocator over eligible threads.
+    alloc: HashMap<StationId, BalancedAllocator>,
+    my_threads: Vec<u32>,
+}
+
+impl KSubsetsStation {
+    fn new(params: Rc<KSubsetsParams>, id: StationId, mode: ThreadSubroutine) -> Self {
+        let my_threads = params.threads_of(id);
+        let threads = my_threads
+            .iter()
+            .map(|&t| {
+                let members = params.subsets[t as usize].clone();
+                let baton = BatonList::with_members(members.clone());
+                let ring = TokenRing::new(members.len());
+                (
+                    t,
+                    ThreadState {
+                        members,
+                        queue: VecDeque::new(),
+                        baton,
+                        my_big: false,
+                        season_big: false,
+                        ring,
+                        batch_marker: 0,
+                    },
+                )
+            })
+            .collect();
+        Self { params, mode, threads, alloc: HashMap::new(), my_threads }
+    }
+
+    /// Thread-local season length (MBTF seasons within a thread's scaled
+    /// time are `k − 1` thread-rounds).
+    fn season_len(&self) -> u64 {
+        (self.params.k - 1).max(1) as u64
+    }
+}
+
+impl Protocol for KSubsetsStation {
+    fn on_enqueued(
+        &mut self,
+        ctx: &ProtocolCtx,
+        qp: &emac_sim::QueuedPacket,
+        _origin: emac_sim::EnqueueOrigin,
+    ) {
+        let w = qp.packet.dest;
+        let params = &self.params;
+        let my_threads = &self.my_threads;
+        let alloc = self.alloc.entry(w).or_insert_with(|| {
+            let eligible: Vec<u32> =
+                my_threads.iter().copied().filter(|&t| params.in_subset(t, w)).collect();
+            BalancedAllocator::new(eligible)
+        });
+        let t = alloc.pick();
+        let _ = ctx;
+        self.threads
+            .get_mut(&t)
+            .expect("allocated to a thread of this station")
+            .queue
+            .push_back((qp.packet.id, qp.arrived));
+    }
+
+    fn act(&mut self, ctx: &ProtocolCtx, queue: &IndexedQueue) -> Action {
+        let t = self.params.thread_of_round(ctx.round);
+        let j = ctx.round / self.params.gamma() as u64; // thread-round
+        let season_len = self.season_len();
+        let kk = self.params.k;
+        let Some(rep) = self.threads.get_mut(&t) else {
+            return Action::Listen;
+        };
+        match self.mode {
+            ThreadSubroutine::Mbtf => {
+                if rep.baton.conductor() != ctx.id {
+                    return Action::Listen;
+                }
+                if j.is_multiple_of(season_len) {
+                    rep.my_big = rep.queue.len() >= kk * kk - 1;
+                }
+                let mut bits = ControlBits::new();
+                bits.push_bit(rep.my_big);
+                match rep.queue.front() {
+                    Some(&(pid, _)) => match queue.get(pid) {
+                        Some(qp) => Action::Transmit(Message::with_control(qp.packet, bits)),
+                        None => Action::Listen, // custody desync; validator will flag
+                    },
+                    None => Action::Transmit(Message::light(bits)),
+                }
+            }
+            ThreadSubroutine::Rrw => {
+                if rep.members[rep.ring.pos()] != ctx.id {
+                    return Action::Listen;
+                }
+                match rep.queue.front() {
+                    Some(&(pid, arrived)) if arrived < rep.batch_marker => match queue.get(pid) {
+                        Some(qp) => Action::Transmit(Message::plain(qp.packet)),
+                        None => Action::Listen,
+                    },
+                    _ => Action::Listen,
+                }
+            }
+        }
+    }
+
+    fn on_feedback(
+        &mut self,
+        ctx: &ProtocolCtx,
+        _queue: &IndexedQueue,
+        fb: Feedback<'_>,
+        effects: &mut Effects,
+    ) -> Wake {
+        let t = self.params.thread_of_round(ctx.round);
+        let j = ctx.round / self.params.gamma() as u64;
+        let season_len = self.season_len();
+        let Some(rep) = self.threads.get_mut(&t) else {
+            effects.flag("k-subsets: awake outside own threads");
+            return Wake::Stay;
+        };
+        match self.mode {
+            ThreadSubroutine::Mbtf => {
+                match fb {
+                    Feedback::Heard(m) => {
+                        rep.season_big = m.control.reader().read_bit();
+                        if rep.baton.conductor() == ctx.id {
+                            if let Some(p) = m.packet {
+                                debug_assert_eq!(Some(p.id), rep.queue.front().map(|&(id, _)| id));
+                                rep.queue.pop_front();
+                            }
+                        }
+                    }
+                    // the conductor transmits every thread-round
+                    Feedback::Silence => effects.flag("k-subsets: mbtf thread went silent"),
+                    Feedback::Collision => effects.flag("k-subsets: collision cannot happen"),
+                }
+                if j % season_len == season_len - 1 {
+                    rep.baton.season_end(rep.season_big);
+                    rep.season_big = false;
+                }
+            }
+            ThreadSubroutine::Rrw => match fb {
+                Feedback::Silence => {
+                    rep.ring.advance();
+                    if rep.members[rep.ring.pos()] == ctx.id {
+                        rep.batch_marker = ctx.round + 1;
+                    }
+                }
+                Feedback::Heard(m) => {
+                    if rep.members[rep.ring.pos()] == ctx.id {
+                        if let Some(p) = m.packet {
+                            debug_assert_eq!(Some(p.id), rep.queue.front().map(|&(id, _)| id));
+                            rep.queue.pop_front();
+                        }
+                    }
+                }
+                Feedback::Collision => effects.flag("k-subsets: collision cannot happen"),
+            },
+        }
+        Wake::Stay
+    }
+}
+
+/// The `k-Subsets` algorithm of §6.
+#[derive(Clone, Copy, Debug)]
+pub struct KSubsets {
+    /// Energy cap `k` (used exactly; no adjustment needed).
+    pub k: usize,
+    /// Per-thread broadcast subroutine.
+    pub subroutine: ThreadSubroutine,
+}
+
+impl KSubsets {
+    /// `k-Subsets` with the paper's MBTF subroutine (throughput-optimal).
+    pub fn new(k: usize) -> Self {
+        Self { k, subroutine: ThreadSubroutine::Mbtf }
+    }
+
+    /// The RRW variant with bounded latency below the threshold.
+    pub fn with_rrw(k: usize) -> Self {
+        Self { k, subroutine: ThreadSubroutine::Rrw }
+    }
+
+    /// The geometry used for `n` stations.
+    pub fn params(&self, n: usize) -> KSubsetsParams {
+        KSubsetsParams::new(n, self.k)
+    }
+}
+
+impl Algorithm for KSubsets {
+    fn name(&self) -> String {
+        match self.subroutine {
+            ThreadSubroutine::Mbtf => format!("k-Subsets(k={})", self.k),
+            ThreadSubroutine::Rrw => format!("k-Subsets/RRW(k={})", self.k),
+        }
+    }
+
+    fn class(&self) -> AlgorithmClass {
+        match self.subroutine {
+            ThreadSubroutine::Mbtf => AlgorithmClass::OBL_GEN_DIR,
+            ThreadSubroutine::Rrw => AlgorithmClass::OBL_PP_DIR,
+        }
+    }
+
+    fn required_cap(&self, _n: usize) -> usize {
+        self.k
+    }
+
+    fn build(&self, n: usize) -> BuiltAlgorithm {
+        let params = Rc::new(KSubsetsParams::new(n, self.k));
+        let protocols = (0..n)
+            .map(|s| {
+                Box::new(KSubsetsStation::new(Rc::clone(&params), s, self.subroutine))
+                    as Box<dyn Protocol>
+            })
+            .collect();
+        BuiltAlgorithm {
+            name: format!("{}(n={n})", self.name().split('(').next().expect("name")),
+            protocols,
+            wake: WakeMode::Scheduled(params),
+            class: self.class(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds;
+    use emac_adversary::{LeastOnPair, RoundRobinLoad, Scripted, SingleTarget};
+    use emac_sim::{Rate, SimConfig, Simulator};
+
+    #[test]
+    fn schedule_is_the_subset_enumeration() {
+        let p = KSubsetsParams::new(5, 2);
+        assert_eq!(p.gamma(), 10);
+        assert_eq!(p.on_set(5, 0), vec![0, 1]);
+        assert_eq!(p.on_set(5, 1), vec![0, 2]);
+        assert_eq!(p.on_set(5, 10), vec![0, 1]); // period gamma
+        assert_eq!(p.threads_of(4).len(), 4); // C(4,1)
+    }
+
+    #[test]
+    fn delivers_scripted_packet_directly() {
+        let (n, k) = (5usize, 3usize);
+        let gamma = bounds::binomial(n as u64, k as u64);
+        let cfg = SimConfig::new(n, k).adversary_type(Rate::new(1, 10), Rate::integer(1));
+        let adv = Box::new(Scripted::from_triples(&[(0, 0, 4)]));
+        let mut sim = Simulator::new(cfg, KSubsets::new(k).build(n), adv);
+        sim.run(gamma * (k as u64) * 10);
+        assert_eq!(sim.metrics().delivered, 1);
+        assert_eq!(sim.metrics().adoptions, 0);
+        assert!(sim.violations().is_clean(), "{}", sim.violations());
+    }
+
+    #[test]
+    fn stable_at_exact_threshold_concentrated() {
+        // Theorem 8 at rho = k(k-1)/(n(n-1)) exactly, all load on one pair.
+        let (n, k) = (6u64, 3u64);
+        let beta = 2u64;
+        let rho = bounds::k_subsets_rate_threshold(n, k); // 6/30 = 1/5
+        let cfg = SimConfig::new(n as usize, k as usize)
+            .adversary_type(rho, Rate::integer(beta))
+            .sample_every(512);
+        let adv = Box::new(SingleTarget::new(0, 5));
+        let mut sim = Simulator::new(cfg, KSubsets::new(k as usize).build(n as usize), adv);
+        sim.run(250_000);
+        assert!(sim.violations().is_clean(), "{}", sim.violations());
+        assert!(sim.metrics().max_awake <= k as usize);
+        let bound = bounds::k_subsets_queue_bound(n, k, beta as f64);
+        assert!(
+            (sim.metrics().max_total_queued as f64) <= bound,
+            "queues {} exceed bound {bound}",
+            sim.metrics().max_total_queued
+        );
+        assert!(
+            sim.metrics().queue_growth_slope() < 0.02,
+            "slope {}",
+            sim.metrics().queue_growth_slope()
+        );
+    }
+
+    #[test]
+    fn stable_at_exact_threshold_spread() {
+        let (n, k) = (6u64, 3u64);
+        let rho = bounds::k_subsets_rate_threshold(n, k);
+        let cfg = SimConfig::new(n as usize, k as usize)
+            .adversary_type(rho, Rate::integer(2))
+            .sample_every(512);
+        let adv = Box::new(RoundRobinLoad::new());
+        let mut sim = Simulator::new(cfg, KSubsets::new(k as usize).build(n as usize), adv);
+        sim.run(250_000);
+        assert!(sim.violations().is_clean(), "{}", sim.violations());
+        assert!(sim.metrics().queue_growth_slope() < 0.02);
+    }
+
+    #[test]
+    fn unstable_above_threshold_least_pair_flood() {
+        // Theorem 9: above k(k-1)/(n(n-1)) the least co-scheduled pair blows up.
+        let (n, k) = (6usize, 3usize);
+        let alg = KSubsets::new(k);
+        let built = alg.build(n);
+        let schedule = match &built.wake {
+            WakeMode::Scheduled(s) => Rc::clone(s),
+            _ => unreachable!(),
+        };
+        let gamma = alg.params(n).gamma() as u64;
+        let rho = bounds::k_subsets_rate_threshold(n as u64, k as u64).scaled(3, 2);
+        let cfg = SimConfig::new(n, k)
+            .adversary_type(rho, Rate::integer(2))
+            .sample_every(512);
+        let adv = Box::new(LeastOnPair::new(&schedule, n, gamma));
+        let mut sim = Simulator::new(cfg, built, adv);
+        sim.run(150_000);
+        assert!(
+            sim.metrics().queue_growth_slope() > 0.01,
+            "slope {}",
+            sim.metrics().queue_growth_slope()
+        );
+    }
+
+    #[test]
+    fn rrw_variant_has_bounded_latency_below_threshold() {
+        let (n, k) = (6u64, 3u64);
+        let beta = 2u64;
+        let rho = bounds::k_subsets_rate_threshold(n, k).scaled(3, 4);
+        let cfg = SimConfig::new(n as usize, k as usize)
+            .adversary_type(rho, Rate::integer(beta))
+            .sample_every(512);
+        let adv = Box::new(SingleTarget::new(0, 5));
+        let alg = KSubsets::with_rrw(k as usize);
+        let mut sim = Simulator::new(cfg, alg.build(n as usize), adv);
+        sim.run(200_000);
+        assert!(sim.violations().is_clean(), "{}", sim.violations());
+        // paper remark: latency Theta(gamma * (n + beta)) for fixed adversaries;
+        // generous constant for the shape check.
+        let gamma = bounds::binomial(n, k) as f64;
+        let bound = 20.0 * gamma * (n as f64 + beta as f64);
+        let measured = sim.metrics().delay.max() as f64;
+        assert!(measured <= bound, "latency {measured} exceeds shape bound {bound}");
+        assert!(sim.run_until_drained(100_000));
+        assert_eq!(sim.metrics().delivered, sim.metrics().injected);
+    }
+
+    #[test]
+    fn mbtf_variant_drains_when_injections_stop() {
+        let (n, k) = (6usize, 3usize);
+        let rho = bounds::k_subsets_rate_threshold(6, 3);
+        let cfg = SimConfig::new(n, k).adversary_type(rho, Rate::integer(4));
+        let adv = Box::new(RoundRobinLoad::new());
+        let mut sim = Simulator::new(cfg, KSubsets::new(k).build(n), adv);
+        sim.run(50_000);
+        assert!(sim.run_until_drained(200_000));
+        assert_eq!(sim.metrics().delivered, sim.metrics().injected);
+    }
+}

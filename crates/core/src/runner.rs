@@ -1,0 +1,229 @@
+//! High-level experiment runner.
+//!
+//! Wraps the simulator in the workflow every experiment shares: build the
+//! algorithm, wire an adversary (possibly one that inspects the oblivious
+//! schedule, as the lower-bound constructions do), run for a number of
+//! rounds, optionally drain, and classify stability.
+
+use std::rc::Rc;
+
+use emac_sim::{
+    Adversary, Metrics, OnSchedule, Rate, SimConfig, Simulator, Violations, WakeMode,
+};
+
+use crate::algorithm::Algorithm;
+use crate::stability::{classify, StabilityReport};
+
+/// Experiment parameters.
+#[derive(Clone, Debug)]
+pub struct Runner {
+    n: usize,
+    rho: Rate,
+    beta: Rate,
+    rounds: u64,
+    sample_every: u64,
+    cap_override: Option<usize>,
+    drain_rounds: Option<u64>,
+}
+
+impl Runner {
+    /// Runner for `n` stations with defaults: `ρ = 1/2`, `β = 1`, 100 000
+    /// rounds, no drain phase.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            rho: Rate::new(1, 2),
+            beta: Rate::integer(1),
+            rounds: 100_000,
+            sample_every: 0, // derived from rounds when 0
+            cap_override: None,
+            drain_rounds: None,
+        }
+    }
+
+    /// Set the injection rate ρ.
+    pub fn rate(mut self, rho: Rate) -> Self {
+        self.rho = rho;
+        self
+    }
+
+    /// Set the burstiness coefficient β.
+    pub fn beta(mut self, beta: u64) -> Self {
+        self.beta = Rate::integer(beta);
+        self
+    }
+
+    /// Set the number of rounds to simulate.
+    pub fn rounds(mut self, rounds: u64) -> Self {
+        self.rounds = rounds;
+        self
+    }
+
+    /// Override the energy cap (default: the algorithm's requirement).
+    pub fn cap(mut self, cap: usize) -> Self {
+        self.cap_override = Some(cap);
+        self
+    }
+
+    /// After the main run, stop injections and let the system drain for at
+    /// most this many rounds, recording whether it emptied.
+    pub fn drain(mut self, max_rounds: u64) -> Self {
+        self.drain_rounds = Some(max_rounds);
+        self
+    }
+
+    /// Run `algorithm` against a fixed adversary.
+    pub fn run(&self, algorithm: &dyn Algorithm, adversary: Box<dyn Adversary>) -> RunReport {
+        self.run_against(algorithm, |_| adversary)
+    }
+
+    /// Run `algorithm` against an adversary built from the algorithm's
+    /// oblivious schedule (`None` for adaptive algorithms) — the entry
+    /// point for the Theorem 6 / Theorem 9 attack adversaries.
+    pub fn run_against(
+        &self,
+        algorithm: &dyn Algorithm,
+        make_adversary: impl FnOnce(Option<&Rc<dyn OnSchedule>>) -> Box<dyn Adversary>,
+    ) -> RunReport {
+        let cap = self.cap_override.unwrap_or_else(|| algorithm.required_cap(self.n));
+        let sample = if self.sample_every == 0 {
+            (self.rounds / 2_048).max(1)
+        } else {
+            self.sample_every
+        };
+        let cfg = SimConfig::new(self.n, cap)
+            .adversary_type(self.rho, self.beta)
+            .sample_every(sample);
+        let built = algorithm.build(self.n);
+        let adversary = match &built.wake {
+            WakeMode::Scheduled(s) => make_adversary(Some(s)),
+            WakeMode::Adaptive => make_adversary(None),
+        };
+        let name = built.name.clone();
+        let mut sim = Simulator::new(cfg, built, adversary);
+        sim.run(self.rounds);
+        let drained = self.drain_rounds.map(|max| sim.run_until_drained(max));
+        let metrics = sim.metrics().clone();
+        RunReport {
+            algorithm: name,
+            n: self.n,
+            cap,
+            rho: self.rho,
+            beta: self.beta,
+            rounds: self.rounds,
+            stability: classify(&metrics),
+            metrics,
+            violations: sim.violations().clone(),
+            drained,
+        }
+    }
+}
+
+/// Everything measured over one experiment run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Algorithm display name.
+    pub algorithm: String,
+    /// System size.
+    pub n: usize,
+    /// Energy cap in force.
+    pub cap: usize,
+    /// Adversary injection rate.
+    pub rho: Rate,
+    /// Adversary burstiness.
+    pub beta: Rate,
+    /// Rounds simulated (excluding any drain phase).
+    pub rounds: u64,
+    /// Raw metrics.
+    pub metrics: Metrics,
+    /// Invariant violations (empty for a correct run).
+    pub violations: Violations,
+    /// Stability classification.
+    pub stability: StabilityReport,
+    /// Whether the system drained, when a drain phase was requested.
+    pub drained: Option<bool>,
+}
+
+impl RunReport {
+    /// Maximum packet delay (the paper's latency measure).
+    pub fn latency(&self) -> u64 {
+        self.metrics.delay.max()
+    }
+
+    /// Maximum total queued packets (the paper's queue-size measure).
+    pub fn max_queue(&self) -> u64 {
+        self.metrics.max_total_queued
+    }
+
+    /// Whether the run respected every model invariant.
+    pub fn clean(&self) -> bool {
+        self.violations.is_clean()
+    }
+}
+
+impl std::fmt::Display for RunReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} | n={} cap={} rho={} beta={} rounds={}",
+            self.algorithm, self.n, self.cap, self.rho, self.beta, self.rounds
+        )?;
+        writeln!(
+            f,
+            "  delivered {}/{} | latency max {} mean {:.1} | queue max {} | energy/round {:.2}",
+            self.metrics.delivered,
+            self.metrics.injected,
+            self.latency(),
+            self.metrics.delay.mean(),
+            self.max_queue(),
+            self.metrics.energy_per_round()
+        )?;
+        write!(f, "  stability: {} | invariants: {}", self.stability, self.violations)?;
+        if let Some(d) = self.drained {
+            write!(f, " | drained: {}", if d { "yes" } else { "NO" })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::count_hop::CountHop;
+    use crate::k_cycle::KCycle;
+    use crate::stability::Verdict;
+    use emac_adversary::{LeastOnStation, UniformRandom};
+
+    #[test]
+    fn runs_adaptive_algorithm_end_to_end() {
+        let report = Runner::new(4)
+            .rate(Rate::new(1, 2))
+            .beta(2)
+            .rounds(20_000)
+            .drain(5_000)
+            .run(&CountHop::new(), Box::new(UniformRandom::new(1)));
+        assert!(report.clean(), "{}", report.violations);
+        assert_eq!(report.cap, 2);
+        assert_eq!(report.stability.verdict, Verdict::Stable);
+        assert_eq!(report.drained, Some(true));
+        assert_eq!(report.metrics.delivered, report.metrics.injected);
+        // Display smoke test
+        let text = report.to_string();
+        assert!(text.contains("Count-Hop"));
+        assert!(text.contains("Stable"));
+    }
+
+    #[test]
+    fn schedule_reaches_attack_adversaries() {
+        let alg = KCycle::new(3);
+        let report = Runner::new(9)
+            .rate(Rate::new(5, 12)) // > k/n = 1/3
+            .beta(2)
+            .rounds(60_000)
+            .run_against(&alg, |schedule| {
+                let s = schedule.expect("k-Cycle is oblivious").clone();
+                Box::new(LeastOnStation::new(&s, 9, 10_000))
+            });
+        assert_eq!(report.stability.verdict, Verdict::Diverging, "{report}");
+    }
+}

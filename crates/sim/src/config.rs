@@ -1,0 +1,77 @@
+//! Simulation configuration.
+
+use crate::rate::Rate;
+
+/// Static parameters of a simulated multiple-access-channel system.
+///
+/// A system is determined by the number of attached stations `n` and the
+/// energy cap (paper §2). The adversary type `(ρ, β)` is enforced by the
+/// engine's leaky bucket; algorithms never see it.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Number of stations attached to the channel.
+    pub n: usize,
+    /// Energy cap: maximum stations switched on simultaneously.
+    pub cap: usize,
+    /// Adversary injection rate ρ, `0 ≤ ρ ≤ 1`.
+    pub rho: Rate,
+    /// Adversary burstiness coefficient β ≥ 1.
+    pub beta: Rate,
+    /// Queue-size series sampling period, in rounds.
+    pub sample_every: u64,
+}
+
+impl SimConfig {
+    /// Configuration with rate 1/2, burstiness 1, sampling every 256 rounds.
+    pub fn new(n: usize, cap: usize) -> Self {
+        assert!(n >= 2, "the model needs at least two stations");
+        assert!(cap >= 2, "energy cap 2 is the minimum for point-to-point communication");
+        Self { n, cap, rho: Rate::new(1, 2), beta: Rate::integer(1), sample_every: 256 }
+    }
+
+    /// Set the adversary type `(ρ, β)`.
+    pub fn adversary_type(mut self, rho: Rate, beta: Rate) -> Self {
+        assert!(
+            rho.cmp_exact(&Rate::one()) != std::cmp::Ordering::Greater,
+            "injection rate cannot exceed 1"
+        );
+        self.rho = rho;
+        self.beta = beta;
+        self
+    }
+
+    /// Set the queue-series sampling period.
+    pub fn sample_every(mut self, rounds: u64) -> Self {
+        assert!(rounds > 0);
+        self.sample_every = rounds;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let c = SimConfig::new(8, 3)
+            .adversary_type(Rate::new(3, 4), Rate::integer(2))
+            .sample_every(10);
+        assert_eq!(c.n, 8);
+        assert_eq!(c.cap, 3);
+        assert_eq!(c.rho, Rate::new(3, 4));
+        assert_eq!(c.sample_every, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_tiny_systems() {
+        SimConfig::new(1, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed 1")]
+    fn rejects_super_unit_rate() {
+        SimConfig::new(4, 2).adversary_type(Rate::new(3, 2), Rate::integer(1));
+    }
+}

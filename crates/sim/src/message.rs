@@ -1,0 +1,231 @@
+//! Messages and control bits.
+//!
+//! A message consists of at most one packet and a string of control bits
+//! (paper §2, "Routing algorithms"). The bits encoding the packet's
+//! destination address are not counted as control bits. *Plain-packet*
+//! algorithms transmit messages that consist of exactly one packet and no
+//! control bits; *general* algorithms may attach control bits and may send
+//! packet-less (light) messages.
+//!
+//! Control bits are modelled as an explicit bit string so the simulator can
+//! meter how much control information an algorithm really uses per message
+//! (the paper restricts algorithms to `O(log n)` control bits per message).
+
+use crate::packet::Packet;
+
+/// An append-only bit string with fixed-width unsigned field encoding.
+///
+/// Writers push fields with [`ControlBits::push_uint`]; readers consume them
+/// in the same order with a [`BitReader`]. The bit length is exact, so the
+/// metrics subsystem can account for control-bit usage per message.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ControlBits {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl ControlBits {
+    /// An empty control string.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bits in the string.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the string is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append a single bit.
+    pub fn push_bit(&mut self, bit: bool) {
+        let word = self.len / 64;
+        let off = self.len % 64;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[word] |= 1u64 << off;
+        }
+        self.len += 1;
+    }
+
+    /// Append the low `width` bits of `value`, least-significant bit first.
+    ///
+    /// # Panics
+    /// Panics if `width > 64` or if `value` does not fit in `width` bits.
+    pub fn push_uint(&mut self, value: u64, width: usize) {
+        assert!(width <= 64, "field width {width} exceeds 64 bits");
+        assert!(
+            width == 64 || value < (1u64 << width),
+            "value {value} does not fit in {width} bits"
+        );
+        for i in 0..width {
+            self.push_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Read the bit at position `pos`.
+    pub fn bit(&self, pos: usize) -> bool {
+        assert!(pos < self.len, "bit index {pos} out of range {}", self.len);
+        (self.words[pos / 64] >> (pos % 64)) & 1 == 1
+    }
+
+    /// Start reading the string from the beginning.
+    pub fn reader(&self) -> BitReader<'_> {
+        BitReader { bits: self, pos: 0 }
+    }
+}
+
+/// Sequential reader over a [`ControlBits`] string.
+#[derive(Clone, Debug)]
+pub struct BitReader<'a> {
+    bits: &'a ControlBits,
+    pos: usize,
+}
+
+impl BitReader<'_> {
+    /// Bits remaining to be read.
+    pub fn remaining(&self) -> usize {
+        self.bits.len() - self.pos
+    }
+
+    /// Read one bit.
+    pub fn read_bit(&mut self) -> bool {
+        let b = self.bits.bit(self.pos);
+        self.pos += 1;
+        b
+    }
+
+    /// Read a `width`-bit unsigned field written by [`ControlBits::push_uint`].
+    pub fn read_uint(&mut self, width: usize) -> u64 {
+        assert!(width <= 64);
+        let mut v = 0u64;
+        for i in 0..width {
+            if self.read_bit() {
+                v |= 1u64 << i;
+            }
+        }
+        v
+    }
+}
+
+/// Number of bits needed to encode values in `[0, n)`; at least 1.
+pub fn bits_for(n: u64) -> usize {
+    if n <= 1 {
+        1
+    } else {
+        64 - (n - 1).leading_zeros() as usize
+    }
+}
+
+/// A message as transmitted on the channel in one round.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Message {
+    /// The packet carried by the message, if any. A message without a packet
+    /// is called *light*; only general (non-plain-packet) algorithms may send
+    /// light messages.
+    pub packet: Option<Packet>,
+    /// Control bits attached to the message.
+    pub control: ControlBits,
+}
+
+impl Message {
+    /// A message consisting of a single plain packet with no control bits.
+    pub fn plain(packet: Packet) -> Self {
+        Self { packet: Some(packet), control: ControlBits::new() }
+    }
+
+    /// A light message: control bits only.
+    pub fn light(control: ControlBits) -> Self {
+        Self { packet: None, control }
+    }
+
+    /// A packet with attached control bits.
+    pub fn with_control(packet: Packet, control: ControlBits) -> Self {
+        Self { packet: Some(packet), control }
+    }
+
+    /// Whether the message is light (carries no packet).
+    pub fn is_light(&self) -> bool {
+        self.packet.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Packet, PacketId};
+
+    fn pkt() -> Packet {
+        Packet { id: PacketId(1), dest: 2, injected_round: 0, origin: 0 }
+    }
+
+    #[test]
+    fn roundtrip_bits() {
+        let mut c = ControlBits::new();
+        c.push_bit(true);
+        c.push_bit(false);
+        c.push_uint(13, 4);
+        c.push_uint(u64::MAX, 64);
+        c.push_uint(0, 1);
+        assert_eq!(c.len(), 1 + 1 + 4 + 64 + 1);
+        let mut r = c.reader();
+        assert!(r.read_bit());
+        assert!(!r.read_bit());
+        assert_eq!(r.read_uint(4), 13);
+        assert_eq!(r.read_uint(64), u64::MAX);
+        assert_eq!(r.read_uint(1), 0);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn crosses_word_boundary() {
+        let mut c = ControlBits::new();
+        for i in 0..130u64 {
+            c.push_bit(i % 3 == 0);
+        }
+        for i in 0..130u64 {
+            assert_eq!(c.bit(i as usize), i % 3 == 0, "bit {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn overflow_field_panics() {
+        let mut c = ControlBits::new();
+        c.push_uint(8, 3);
+    }
+
+    #[test]
+    fn bits_for_ranges() {
+        assert_eq!(bits_for(0), 1);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 1);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(8), 3);
+        assert_eq!(bits_for(9), 4);
+        assert_eq!(bits_for(1 << 33), 33);
+    }
+
+    #[test]
+    fn message_kinds() {
+        assert!(!Message::plain(pkt()).is_light());
+        assert!(Message::light(ControlBits::new()).is_light());
+        let mut c = ControlBits::new();
+        c.push_bit(true);
+        let m = Message::with_control(pkt(), c);
+        assert_eq!(m.control.len(), 1);
+        assert!(m.packet.is_some());
+    }
+
+    #[test]
+    fn reader_empty() {
+        let c = ControlBits::new();
+        assert_eq!(c.reader().remaining(), 0);
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,145 @@
+//! Terminal rendering of measurement series.
+//!
+//! Experiments live or die by whether you can *see* the queue trajectory:
+//! a bounded sawtooth and a linear climb have very different meanings
+//! (stable vs diverging) but similar maxima over short runs. This module
+//! renders queue-size series and delay histograms as compact ASCII charts
+//! for reports, examples and debugging — no plotting dependencies.
+
+use crate::metrics::{DelayStats, QueueSample};
+
+/// Render a time series as a fixed-size ASCII chart.
+///
+/// `width` columns (time buckets, averaged) by `height` rows; returns a
+/// multi-line string with an axis legend.
+pub fn render_series(series: &[QueueSample], width: usize, height: usize) -> String {
+    assert!(width >= 2 && height >= 2);
+    if series.is_empty() {
+        return String::from("(empty series)\n");
+    }
+    let max_y = series.iter().map(|s| s.total_queued).max().unwrap_or(0).max(1);
+    // average samples into `width` buckets
+    let mut buckets = vec![(0u128, 0u64); width];
+    for (i, s) in series.iter().enumerate() {
+        let b = i * width / series.len();
+        buckets[b].0 += s.total_queued as u128;
+        buckets[b].1 += 1;
+    }
+    let values: Vec<f64> = buckets
+        .iter()
+        .map(|&(sum, cnt)| if cnt == 0 { 0.0 } else { sum as f64 / cnt as f64 })
+        .collect();
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (x, &v) in values.iter().enumerate() {
+        let h = ((v / max_y as f64) * height as f64).round() as usize;
+        for y in 0..h.min(height) {
+            grid[height - 1 - y][x] = if y + 1 == h { '▄' } else { '█' };
+        }
+    }
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{max_y:>8} ┤")
+        } else if i == height - 1 {
+            format!("{:>8} ┤", 0)
+        } else {
+            format!("{:>8} │", "")
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    let first = series.first().expect("non-empty").round;
+    let last = series.last().expect("non-empty").round;
+    out.push_str(&format!("{:>9}└ rounds {first}..{last}\n", ""));
+    out
+}
+
+/// Render the log₂ delay histogram as labelled bars.
+pub fn render_delay_histogram(delay: &DelayStats, max_bar: usize) -> String {
+    assert!(max_bar >= 1);
+    if delay.count() == 0 {
+        return String::from("(no deliveries)\n");
+    }
+    let buckets = delay.log2_buckets();
+    let top = buckets.iter().copied().max().unwrap_or(1).max(1);
+    let mut out = String::new();
+    let hi = buckets.iter().rposition(|&c| c > 0).unwrap_or(0);
+    for (i, &c) in buckets.iter().enumerate().take(hi + 1) {
+        let lo_edge = (1u64 << i) - 1;
+        let hi_edge = (1u64 << (i + 1)) - 2;
+        let bar = (c as u128 * max_bar as u128 / top as u128) as usize;
+        out.push_str(&format!(
+            "{:>10}-{:<10} {:<width$} {}\n",
+            lo_edge,
+            hi_edge,
+            "#".repeat(bar),
+            c,
+            width = max_bar
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(values: &[u64]) -> Vec<QueueSample> {
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| QueueSample { round: i as u64 * 10, total_queued: v })
+            .collect()
+    }
+
+    #[test]
+    fn renders_expected_shape() {
+        let s = series(&[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let chart = render_series(&s, 10, 4);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 5); // 4 rows + axis
+        assert!(lines[0].contains('9'), "max label: {}", lines[0]);
+        assert!(lines[4].contains("rounds 0..90"));
+        // rising series: bottom row mostly filled, top row only at the right
+        let top = lines[0];
+        let bottom = lines[3];
+        assert!(bottom.matches('█').count() + bottom.matches('▄').count() >= 5);
+        assert!(top.matches('█').count() + top.matches('▄').count() <= 3);
+    }
+
+    #[test]
+    fn empty_series_is_graceful() {
+        assert_eq!(render_series(&[], 10, 4), "(empty series)\n");
+    }
+
+    #[test]
+    fn flat_series_fills_one_level() {
+        let s = series(&[5; 50]);
+        let chart = render_series(&s, 8, 4);
+        // every column reaches the top (values == max)
+        let first_row: &str = chart.lines().next().unwrap();
+        assert!(first_row.matches('█').count() + first_row.matches('▄').count() == 8);
+    }
+
+    #[test]
+    fn histogram_shows_buckets() {
+        let mut d = DelayStats::default();
+        for _ in 0..10 {
+            d.record(0); // bucket 0
+        }
+        for _ in 0..5 {
+            d.record(5); // bucket 2 (delays 3..=6)
+        }
+        let h = render_delay_histogram(&d, 20);
+        assert!(h.contains("10"), "{h}");
+        assert!(h.contains('5'), "{h}");
+        assert!(h.lines().count() >= 3);
+    }
+
+    #[test]
+    fn empty_histogram_is_graceful() {
+        assert_eq!(render_delay_histogram(&DelayStats::default(), 10), "(no deliveries)\n");
+    }
+}

@@ -1,0 +1,326 @@
+//! The interface between the simulator and distributed routing algorithms.
+//!
+//! Each station runs its own [`Protocol`] instance and observes only local
+//! information: its name, the system size `n`, the energy cap, its queue,
+//! and the channel feedback in rounds when it is switched on. This enforces
+//! the paper's distributed model at the type level — a protocol object has
+//! no way to peek at another station's state.
+//!
+//! Two wake disciplines exist, mirroring the paper's algorithm classes:
+//!
+//! * **Adaptive** (non-oblivious) protocols manage a programmable wake-up
+//!   timer: they return a [`Wake`] decision after each awake round.
+//! * **Scheduled** (energy-oblivious) protocols are switched on and off by a
+//!   precomputed [`OnSchedule`]; for each station the on-rounds are
+//!   determined before the execution starts, as the paper requires.
+
+use std::rc::Rc;
+
+use crate::message::Message;
+use crate::packet::{Injection, Round, StationId};
+use crate::queue::{IndexedQueue, QueuedPacket};
+
+/// Immutable per-round context a protocol can observe.
+#[derive(Clone, Copy, Debug)]
+pub struct ProtocolCtx {
+    /// This station's name.
+    pub id: StationId,
+    /// Number of stations attached to the channel (known to algorithms).
+    pub n: usize,
+    /// The system's energy cap (known to algorithms).
+    pub cap: usize,
+    /// Current round (0-based).
+    pub round: Round,
+}
+
+/// What a switched-on station does in a round: transmit or listen.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Transmit `message`. If the message is to carry a packet, the packet
+    /// must currently be in this station's queue; the engine verifies
+    /// custody and removes the packet once the message is heard.
+    Transmit(Message),
+    /// Sense the channel.
+    Listen,
+}
+
+/// Channel feedback observed by every switched-on station at the end of a
+/// round (paper §2, "Messages").
+#[derive(Clone, Copy, Debug)]
+pub enum Feedback<'a> {
+    /// No station transmitted.
+    Silence,
+    /// Exactly one station transmitted and the message was heard by every
+    /// switched-on station, including the transmitter.
+    Heard(&'a Message),
+    /// Two or more stations transmitted; nothing was heard.
+    Collision,
+}
+
+/// Wake-up decision of an adaptive protocol after an awake round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Wake {
+    /// Remain switched on in the next round.
+    Stay,
+    /// Switch off and wake at the given round (must be in the future).
+    At(Round),
+}
+
+impl Wake {
+    /// Sleep for `c` rounds starting after the current round `now`
+    /// (the paper's "set its timer to a positive integer c").
+    pub fn sleep_for(now: Round, c: u64) -> Wake {
+        Wake::At(now + 1 + c)
+    }
+}
+
+/// How a packet entered a station's queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EnqueueOrigin {
+    /// Injected by the adversary.
+    Injected,
+    /// Adopted from the channel; this station is now the packet's relay.
+    Adopted,
+}
+
+/// Side effects a protocol may request while processing feedback.
+#[derive(Debug, Default)]
+pub struct Effects {
+    pub(crate) adopt: bool,
+    pub(crate) flags: Vec<&'static str>,
+}
+
+impl Effects {
+    /// Adopt the packet heard this round, becoming its relay. Only valid
+    /// when a packet was heard and was not consumed by its destination; the
+    /// engine records a violation otherwise.
+    pub fn adopt_heard(&mut self) {
+        self.adopt = true;
+    }
+
+    /// Flag a protocol-level anomaly (e.g. an unexpected silent round).
+    /// Flags are collected by the validator; tests assert none occur.
+    pub fn flag(&mut self, reason: &'static str) {
+        self.flags.push(reason);
+    }
+}
+
+/// A distributed station algorithm.
+///
+/// The engine calls `act` and `on_feedback` only in rounds where the station
+/// is switched on; `on_enqueued` is called whenever a packet enters the
+/// queue, even while the station is off (packets may be injected into
+/// switched-off stations).
+pub trait Protocol {
+    /// First round in which this station is switched on (adaptive protocols
+    /// only; ignored under a schedule). Called once before round 0.
+    fn first_wake(&mut self, ctx: &ProtocolCtx) -> Wake {
+        let _ = ctx;
+        Wake::Stay
+    }
+
+    /// Choose this round's action. Called before channel resolution.
+    fn act(&mut self, ctx: &ProtocolCtx, queue: &IndexedQueue) -> Action;
+
+    /// Observe channel feedback, optionally adopt the heard packet, and
+    /// decide when to wake next (adaptive protocols).
+    fn on_feedback(
+        &mut self,
+        ctx: &ProtocolCtx,
+        queue: &IndexedQueue,
+        fb: Feedback<'_>,
+        effects: &mut Effects,
+    ) -> Wake;
+
+    /// A packet entered this station's queue.
+    fn on_enqueued(&mut self, ctx: &ProtocolCtx, qp: &QueuedPacket, origin: EnqueueOrigin) {
+        let _ = (ctx, qp, origin);
+    }
+}
+
+/// A precomputed on/off schedule for energy-oblivious algorithms: for each
+/// station and each round, whether the station is switched on. The schedule
+/// is fixed before the execution starts.
+pub trait OnSchedule {
+    /// Whether `station` is switched on in `round`.
+    fn is_on(&self, station: StationId, round: Round) -> bool;
+
+    /// Stations switched on in `round`. The default scans all `n`; schedules
+    /// with structure should override with an O(cap) enumeration.
+    fn on_set(&self, n: usize, round: Round) -> Vec<StationId> {
+        (0..n).filter(|&s| self.is_on(s, round)).collect()
+    }
+}
+
+/// Wake discipline of a built algorithm.
+#[derive(Clone)]
+pub enum WakeMode {
+    /// Stations drive their own wake-up timers.
+    Adaptive,
+    /// Stations follow a precomputed schedule (energy-oblivious).
+    Scheduled(Rc<dyn OnSchedule>),
+}
+
+impl std::fmt::Debug for WakeMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WakeMode::Adaptive => write!(f, "Adaptive"),
+            WakeMode::Scheduled(_) => write!(f, "Scheduled(..)"),
+        }
+    }
+}
+
+/// Structural properties of an algorithm, used by the validator to check the
+/// claims of the paper's Table 1 (plain-packet algorithms attach no control
+/// bits; direct algorithms never relay).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AlgorithmClass {
+    /// At most `cap` stations on per round, determined in advance.
+    pub oblivious: bool,
+    /// Messages consist of exactly one packet and no control bits.
+    pub plain_packet: bool,
+    /// Packets hop once, from the injection station to the destination.
+    pub direct: bool,
+}
+
+impl AlgorithmClass {
+    /// Non-oblivious, general messages, direct routing (e.g. Orchestra).
+    pub const NOBL_GEN_DIR: Self =
+        Self { oblivious: false, plain_packet: false, direct: true };
+    /// Non-oblivious, plain-packet, indirect routing (e.g. Adjust-Window).
+    pub const NOBL_PP_IND: Self =
+        Self { oblivious: false, plain_packet: true, direct: false };
+    /// Oblivious, plain-packet, indirect (e.g. k-Cycle).
+    pub const OBL_PP_IND: Self =
+        Self { oblivious: true, plain_packet: true, direct: false };
+    /// Oblivious, plain-packet, direct (e.g. k-Clique).
+    pub const OBL_PP_DIR: Self =
+        Self { oblivious: true, plain_packet: true, direct: true };
+    /// Oblivious, general, direct (e.g. k-Subsets).
+    pub const OBL_GEN_DIR: Self =
+        Self { oblivious: true, plain_packet: false, direct: true };
+}
+
+/// A fully instantiated distributed algorithm, ready to run: one protocol
+/// per station plus the wake discipline and the declared class.
+pub struct BuiltAlgorithm {
+    /// Human-readable algorithm name (for reports).
+    pub name: String,
+    /// One protocol instance per station, indexed by station name.
+    pub protocols: Vec<Box<dyn Protocol>>,
+    /// Wake discipline.
+    pub wake: WakeMode,
+    /// Declared structural class; the validator enforces it.
+    pub class: AlgorithmClass,
+}
+
+/// A view of the system that adversaries may use when planning injections.
+///
+/// Adversaries are adaptive and omniscient in the model: they know the
+/// algorithm and the entire history. The view exposes what the constructive
+/// lower-bound adversaries of the paper need: who was on, for how long, and
+/// how queues look.
+#[derive(Clone, Copy, Debug)]
+pub struct SystemView<'a> {
+    /// Current round (the one being planned).
+    pub round: Round,
+    /// System size.
+    pub n: usize,
+    /// Queue length of each station at the end of the previous round.
+    pub queue_sizes: &'a [usize],
+    /// Which stations were switched on in the previous round.
+    pub prev_awake: &'a [bool],
+    /// Cumulative on-rounds per station.
+    pub on_counts: &'a [u64],
+    /// Most recent round each station was switched on, if ever.
+    pub last_on: &'a [Option<Round>],
+}
+
+/// A packet-injection adversary of type `(ρ, β)`.
+///
+/// `budget` is the number of packets the leaky bucket allows this round; the
+/// engine truncates any excess, so implementations cannot exceed their type.
+pub trait Adversary {
+    /// Plan the injections for `round`.
+    fn plan(&mut self, round: Round, budget: usize, view: &SystemView<'_>) -> Vec<Injection>;
+}
+
+/// Convenience: a no-op adversary (no injections ever).
+pub struct NoInjections;
+
+impl Adversary for NoInjections {
+    fn plan(&mut self, _round: Round, _budget: usize, _view: &SystemView<'_>) -> Vec<Injection> {
+        Vec::new()
+    }
+}
+
+/// Helper for tests and simple protocols: a protocol that is always on and
+/// always listens. Useful as a passive receiver.
+pub struct AlwaysListen;
+
+impl Protocol for AlwaysListen {
+    fn act(&mut self, _ctx: &ProtocolCtx, _queue: &IndexedQueue) -> Action {
+        Action::Listen
+    }
+
+    fn on_feedback(
+        &mut self,
+        _ctx: &ProtocolCtx,
+        _queue: &IndexedQueue,
+        _fb: Feedback<'_>,
+        _effects: &mut Effects,
+    ) -> Wake {
+        Wake::Stay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wake_sleep_for_matches_paper_timer() {
+        // Timer c at round t: off during t+1 .. t+c, on again at t+c+1.
+        assert_eq!(Wake::sleep_for(10, 3), Wake::At(14));
+        assert_eq!(Wake::sleep_for(0, 1), Wake::At(2));
+    }
+
+    #[test]
+    fn class_constants_match_table1() {
+        // one runtime assertion over the constants, exercised as data
+        let classes = [
+            (AlgorithmClass::NOBL_GEN_DIR, (false, false, true)),
+            (AlgorithmClass::NOBL_PP_IND, (false, true, false)),
+            (AlgorithmClass::OBL_PP_IND, (true, true, false)),
+            (AlgorithmClass::OBL_PP_DIR, (true, true, true)),
+            (AlgorithmClass::OBL_GEN_DIR, (true, false, true)),
+        ];
+        for (c, (obl, pp, dir)) in classes {
+            assert_eq!((c.oblivious, c.plain_packet, c.direct), (obl, pp, dir), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn effects_accumulate() {
+        let mut e = Effects::default();
+        assert!(!e.adopt);
+        e.adopt_heard();
+        e.flag("x");
+        assert!(e.adopt);
+        assert_eq!(e.flags, vec!["x"]);
+    }
+
+    struct EveryOther;
+    impl OnSchedule for EveryOther {
+        fn is_on(&self, station: StationId, round: Round) -> bool {
+            (station as u64 + round).is_multiple_of(2)
+        }
+    }
+
+    #[test]
+    fn schedule_default_on_set() {
+        let s = EveryOther;
+        assert_eq!(s.on_set(4, 0), vec![0, 2]);
+        assert_eq!(s.on_set(4, 1), vec![1, 3]);
+    }
+}

@@ -1,0 +1,229 @@
+//! Per-station packet queues.
+//!
+//! A station's queue is its private memory of injected and adopted packets
+//! (paper §2). A station may transmit queued packets in arbitrary order and
+//! can scan its queue in negligible time, so the queue offers arrival-order
+//! iteration, per-destination counting, and removal by packet id.
+//!
+//! The queue is owned by the simulator, not by the algorithm: the engine is
+//! the single source of truth for packet custody, which is what lets it
+//! verify that every packet is delivered exactly once and never duplicated
+//! or lost. Algorithms receive `&IndexedQueue` views.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::packet::{Packet, PacketId, Round, StationId};
+
+/// A packet at rest in a station's queue, with arrival bookkeeping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueuedPacket {
+    /// The packet itself.
+    pub packet: Packet,
+    /// Round the packet arrived at this station (injection or adoption).
+    pub arrived: Round,
+    /// Arrival sequence number local to this station; strictly increasing,
+    /// breaks ties between packets arriving in the same round.
+    pub seq: u64,
+}
+
+/// Arrival-ordered queue with per-destination counts and O(log q) removal.
+#[derive(Clone, Debug, Default)]
+pub struct IndexedQueue {
+    by_seq: BTreeMap<u64, QueuedPacket>,
+    seq_of: HashMap<PacketId, u64>,
+    dest_counts: Vec<usize>,
+    next_seq: u64,
+}
+
+impl IndexedQueue {
+    /// An empty queue for a system of `n` stations.
+    pub fn new(n: usize) -> Self {
+        Self {
+            by_seq: BTreeMap::new(),
+            seq_of: HashMap::new(),
+            dest_counts: vec![0; n],
+            next_seq: 0,
+        }
+    }
+
+    /// Number of queued packets.
+    pub fn len(&self) -> usize {
+        self.by_seq.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_seq.is_empty()
+    }
+
+    /// Whether the packet is currently queued here.
+    pub fn contains(&self, id: PacketId) -> bool {
+        self.seq_of.contains_key(&id)
+    }
+
+    /// Look up a queued packet by id.
+    pub fn get(&self, id: PacketId) -> Option<&QueuedPacket> {
+        self.seq_of.get(&id).map(|s| &self.by_seq[s])
+    }
+
+    /// Packets destined to `dest` currently queued.
+    pub fn count_for(&self, dest: StationId) -> usize {
+        self.dest_counts[dest]
+    }
+
+    /// Packets destined to stations with a name strictly below `dest`
+    /// (used by Adjust-Window gossip).
+    pub fn count_below(&self, dest: StationId) -> usize {
+        self.dest_counts[..dest].iter().sum()
+    }
+
+    /// Iterate over queued packets in arrival order.
+    pub fn iter(&self) -> impl Iterator<Item = &QueuedPacket> {
+        self.by_seq.values()
+    }
+
+    /// Iterate in arrival order over packets destined to `dest`.
+    pub fn iter_for(&self, dest: StationId) -> impl Iterator<Item = &QueuedPacket> + '_ {
+        self.by_seq.values().filter(move |qp| qp.packet.dest == dest)
+    }
+
+    /// Iterate in arrival order over packets that arrived strictly before
+    /// `marker` (the usual "old packet" predicate of the paper's algorithms).
+    pub fn iter_old(&self, marker: Round) -> impl Iterator<Item = &QueuedPacket> + '_ {
+        self.by_seq.values().filter(move |qp| qp.arrived < marker)
+    }
+
+    /// Count packets that arrived strictly before `marker`.
+    pub fn count_old(&self, marker: Round) -> usize {
+        self.iter_old(marker).count()
+    }
+
+    /// Count packets destined to `dest` that arrived strictly before `marker`.
+    pub fn count_old_for(&self, dest: StationId, marker: Round) -> usize {
+        self.iter_old(marker).filter(|qp| qp.packet.dest == dest).count()
+    }
+
+    /// The earliest-arrived packet.
+    pub fn oldest(&self) -> Option<&QueuedPacket> {
+        self.by_seq.values().next()
+    }
+
+    /// The latest-arrived packet.
+    pub fn newest(&self) -> Option<&QueuedPacket> {
+        self.by_seq.values().next_back()
+    }
+
+    /// The earliest-arrived packet destined to `dest`.
+    pub fn oldest_for(&self, dest: StationId) -> Option<&QueuedPacket> {
+        self.iter_for(dest).next()
+    }
+
+    /// The earliest-arrived packet that arrived strictly before `marker`.
+    pub fn oldest_old(&self, marker: Round) -> Option<&QueuedPacket> {
+        self.iter_old(marker).next()
+    }
+
+    /// The earliest-arrived old packet destined to `dest`.
+    pub fn oldest_old_for(&self, dest: StationId, marker: Round) -> Option<&QueuedPacket> {
+        self.iter_old(marker).find(|qp| qp.packet.dest == dest)
+    }
+
+    /// Enqueue a packet arriving in round `arrived`.
+    ///
+    /// Queue mutation is the engine's job during simulation — protocols only
+    /// ever see `&IndexedQueue` — but the methods are public so the data
+    /// structure can be tested and reused standalone.
+    pub fn push(&mut self, packet: Packet, arrived: Round) -> QueuedPacket {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let qp = QueuedPacket { packet, arrived, seq };
+        let prev = self.seq_of.insert(packet.id, seq);
+        debug_assert!(prev.is_none(), "packet {} enqueued twice", packet.id);
+        self.by_seq.insert(seq, qp);
+        self.dest_counts[packet.dest] += 1;
+        qp
+    }
+
+    /// Remove a packet by id.
+    pub fn remove(&mut self, id: PacketId) -> Option<QueuedPacket> {
+        let seq = self.seq_of.remove(&id)?;
+        let qp = self.by_seq.remove(&seq).expect("seq index out of sync");
+        self.dest_counts[qp.packet.dest] -= 1;
+        Some(qp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(id: u64, dest: StationId) -> Packet {
+        Packet { id: PacketId(id), dest, injected_round: 0, origin: 0 }
+    }
+
+    fn filled() -> IndexedQueue {
+        let mut q = IndexedQueue::new(4);
+        q.push(pkt(0, 1), 0);
+        q.push(pkt(1, 2), 0);
+        q.push(pkt(2, 1), 3);
+        q.push(pkt(3, 3), 5);
+        q
+    }
+
+    #[test]
+    fn arrival_order_is_preserved() {
+        let q = filled();
+        let ids: Vec<u64> = q.iter().map(|qp| qp.packet.id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn per_destination_counts() {
+        let q = filled();
+        assert_eq!(q.count_for(1), 2);
+        assert_eq!(q.count_for(2), 1);
+        assert_eq!(q.count_for(0), 0);
+        assert_eq!(q.count_below(2), 2);
+        assert_eq!(q.count_below(3), 3);
+    }
+
+    #[test]
+    fn old_packet_predicates() {
+        let q = filled();
+        assert_eq!(q.count_old(3), 2);
+        assert_eq!(q.count_old_for(1, 4), 2);
+        assert_eq!(q.count_old_for(1, 1), 1);
+        assert_eq!(q.oldest_old(1).unwrap().packet.id.0, 0);
+        assert_eq!(q.oldest_old_for(1, 4).unwrap().packet.id.0, 0);
+        assert!(q.oldest_old(0).is_none());
+    }
+
+    #[test]
+    fn remove_updates_everything() {
+        let mut q = filled();
+        let removed = q.remove(PacketId(0)).unwrap();
+        assert_eq!(removed.packet.dest, 1);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.count_for(1), 1);
+        assert!(!q.contains(PacketId(0)));
+        assert!(q.remove(PacketId(0)).is_none());
+        assert_eq!(q.oldest().unwrap().packet.id.0, 1);
+        assert_eq!(q.oldest_for(1).unwrap().packet.id.0, 2);
+    }
+
+    #[test]
+    fn seq_is_monotonic_across_removals() {
+        let mut q = IndexedQueue::new(2);
+        q.push(pkt(0, 1), 0);
+        q.remove(PacketId(0));
+        let qp = q.push(pkt(1, 1), 1);
+        assert_eq!(qp.seq, 1);
+    }
+
+    #[test]
+    fn get_by_id() {
+        let q = filled();
+        assert_eq!(q.get(PacketId(2)).unwrap().arrived, 3);
+        assert!(q.get(PacketId(9)).is_none());
+    }
+}

@@ -1,0 +1,133 @@
+//! Model-invariant validation.
+//!
+//! The engine checks, every round, that the execution respects the paper's
+//! model and the algorithm's declared class:
+//!
+//! * the number of switched-on stations never exceeds the energy cap;
+//! * a transmitted packet is in the transmitter's queue (custody);
+//! * every heard packet is delivered or adopted by exactly one station
+//!   (no loss, no duplication);
+//! * plain-packet algorithms never attach control bits or send light
+//!   messages;
+//! * direct algorithms never relay;
+//! * collisions never happen (the paper's algorithms are collision-free by
+//!   construction).
+//!
+//! Violations are recorded rather than panicking so that experiments can
+//! observe *how* an execution breaks; the test suite asserts cleanliness.
+
+use crate::packet::{Round, StationId};
+
+/// A protocol-level anomaly flagged by a station.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProtocolFlag {
+    /// Round the flag was raised.
+    pub round: Round,
+    /// Station that raised it.
+    pub station: StationId,
+    /// Why.
+    pub reason: &'static str,
+}
+
+/// Counters of model-invariant violations over a run.
+#[derive(Clone, Debug, Default)]
+pub struct Violations {
+    /// Rounds in which more stations were on than the energy cap allows.
+    pub cap_exceeded: u64,
+    /// Transmissions of packets not held by the transmitter.
+    pub custody: u64,
+    /// Heard packets that were neither delivered nor adopted.
+    pub packets_lost: u64,
+    /// Second and later adoption attempts for the same heard packet.
+    pub double_adoption: u64,
+    /// Adoption attempts for packets already consumed by their destination.
+    pub adopt_after_delivery: u64,
+    /// Adoption attempts when no packet was pending adoption.
+    pub adopt_nothing: u64,
+    /// Messages violating the plain-packet restriction.
+    pub plain_packet: u64,
+    /// Relay hops performed by an algorithm declared as routing directly.
+    pub direct_violated: u64,
+    /// Collisions observed (the paper's algorithms never collide).
+    pub collisions: u64,
+    /// Anomalies flagged by the protocols themselves (first 64 kept).
+    pub protocol_flags: Vec<ProtocolFlag>,
+}
+
+impl Violations {
+    /// Whether the execution was free of any violation.
+    pub fn is_clean(&self) -> bool {
+        self.cap_exceeded == 0
+            && self.custody == 0
+            && self.packets_lost == 0
+            && self.double_adoption == 0
+            && self.adopt_after_delivery == 0
+            && self.adopt_nothing == 0
+            && self.plain_packet == 0
+            && self.direct_violated == 0
+            && self.collisions == 0
+            && self.protocol_flags.is_empty()
+    }
+
+    pub(crate) fn flag(&mut self, round: Round, station: StationId, reason: &'static str) {
+        if self.protocol_flags.len() < 64 {
+            self.protocol_flags.push(ProtocolFlag { round, station, reason });
+        }
+    }
+}
+
+impl std::fmt::Display for Violations {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_clean() {
+            return write!(f, "clean");
+        }
+        write!(
+            f,
+            "cap={} custody={} lost={} double-adopt={} adopt-after-delivery={} \
+             adopt-nothing={} plain-packet={} direct={} collisions={} flags={}",
+            self.cap_exceeded,
+            self.custody,
+            self.packets_lost,
+            self.double_adoption,
+            self.adopt_after_delivery,
+            self.adopt_nothing,
+            self.plain_packet,
+            self.direct_violated,
+            self.collisions,
+            self.protocol_flags.len()
+        )?;
+        if let Some(first) = self.protocol_flags.first() {
+            write!(f, " (first flag: r{} s{} {})", first.round, first.station, first.reason)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_by_default() {
+        let v = Violations::default();
+        assert!(v.is_clean());
+        assert_eq!(v.to_string(), "clean");
+    }
+
+    #[test]
+    fn any_counter_taints() {
+        let v = Violations { packets_lost: 1, ..Default::default() };
+        assert!(!v.is_clean());
+        assert!(v.to_string().contains("lost=1"));
+    }
+
+    #[test]
+    fn flags_are_bounded() {
+        let mut v = Violations::default();
+        for r in 0..100 {
+            v.flag(r, 0, "x");
+        }
+        assert_eq!(v.protocol_flags.len(), 64);
+        assert!(!v.is_clean());
+    }
+}

@@ -1,0 +1,129 @@
+//! Model-based property test: `IndexedQueue` against a naive reference
+//! implementation (a plain `Vec` in arrival order), driven by random
+//! operation sequences. Every query the algorithms rely on must agree.
+
+use emac_sim::{IndexedQueue, Packet, PacketId, StationId};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Push { dest: StationId, arrived: u64 },
+    Remove { index: usize },
+    // queries run after every op
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => (0usize..8, 0u64..100).prop_map(|(dest, arrived)| Op::Push { dest, arrived }),
+            1 => (0usize..64).prop_map(|index| Op::Remove { index }),
+        ],
+        1..120,
+    )
+}
+
+/// The reference: packets in arrival order with their metadata.
+#[derive(Default)]
+struct Model {
+    items: Vec<(Packet, u64)>, // (packet, arrived), arrival order
+}
+
+impl Model {
+    fn push(&mut self, p: Packet, arrived: u64) {
+        self.items.push((p, arrived));
+    }
+    fn remove(&mut self, id: PacketId) -> bool {
+        match self.items.iter().position(|(p, _)| p.id == id) {
+            Some(i) => {
+                self.items.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+    fn count_for(&self, d: StationId) -> usize {
+        self.items.iter().filter(|(p, _)| p.dest == d).count()
+    }
+    fn count_old(&self, marker: u64) -> usize {
+        self.items.iter().filter(|&&(_, a)| a < marker).count()
+    }
+    fn oldest_old_for(&self, d: StationId, marker: u64) -> Option<PacketId> {
+        self.items.iter().find(|&&(p, a)| p.dest == d && a < marker).map(|(p, _)| p.id)
+    }
+}
+
+proptest! {
+    #[test]
+    fn queue_agrees_with_reference_model(ops in ops()) {
+        let n = 8;
+        let mut q = IndexedQueue::new(n);
+        let mut m = Model::default();
+        let mut next_id = 0u64;
+        let mut arrival_clock = 0u64; // arrivals must be non-decreasing
+        for op in ops {
+            match op {
+                Op::Push { dest, arrived } => {
+                    arrival_clock = arrival_clock.max(arrived);
+                    let p = Packet {
+                        id: PacketId(next_id),
+                        dest,
+                        injected_round: arrival_clock,
+                        origin: 0,
+                    };
+                    next_id += 1;
+                    q.push(p, arrival_clock);
+                    m.push(p, arrival_clock);
+                }
+                Op::Remove { index } => {
+                    if !m.items.is_empty() {
+                        let id = m.items[index % m.items.len()].0.id;
+                        let was_in_model = m.remove(id);
+                        let removed = q.remove(id);
+                        prop_assert_eq!(was_in_model, removed.is_some());
+                    }
+                }
+            }
+            // full agreement after every operation
+            prop_assert_eq!(q.len(), m.items.len());
+            let q_order: Vec<u64> = q.iter().map(|qp| qp.packet.id.0).collect();
+            let m_order: Vec<u64> = m.items.iter().map(|(p, _)| p.id.0).collect();
+            prop_assert_eq!(q_order, m_order, "arrival order must match");
+            for d in 0..n {
+                prop_assert_eq!(q.count_for(d), m.count_for(d));
+            }
+            for marker in [0u64, 5, 50, 1_000] {
+                prop_assert_eq!(q.count_old(marker), m.count_old(marker));
+                for d in 0..n {
+                    prop_assert_eq!(
+                        q.oldest_old_for(d, marker).map(|qp| qp.packet.id),
+                        m.oldest_old_for(d, marker)
+                    );
+                }
+            }
+            prop_assert_eq!(
+                q.oldest().map(|qp| qp.packet.id.0),
+                m.items.first().map(|(p, _)| p.id.0)
+            );
+            prop_assert_eq!(
+                q.newest().map(|qp| qp.packet.id.0),
+                m.items.last().map(|(p, _)| p.id.0)
+            );
+        }
+    }
+
+    /// count_below agrees with summing count_for.
+    #[test]
+    fn count_below_is_prefix_sum(dests in proptest::collection::vec(0usize..6, 0..40)) {
+        let mut q = IndexedQueue::new(6);
+        for (i, &d) in dests.iter().enumerate() {
+            q.push(
+                Packet { id: PacketId(i as u64), dest: d, injected_round: 0, origin: 0 },
+                0,
+            );
+        }
+        for d in 0..6 {
+            let expected: usize = (0..d).map(|x| q.count_for(x)).sum();
+            prop_assert_eq!(q.count_below(d), expected);
+        }
+    }
+}

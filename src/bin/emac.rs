@@ -1,0 +1,108 @@
+//! `emac` — command-line driver for the simulator.
+//!
+//! ```text
+//! emac run --alg count-hop --n 8 --rho 1/2 --beta 2 --rounds 100000 \
+//!          --adversary uniform --seed 7 [--drain 20000] [--trace 40]
+//! emac list
+//! ```
+//!
+//! Prints the standard run report; exits non-zero if the run violates any
+//! model invariant (useful in CI). All parsing and construction logic lives
+//! in [`emac::cli`].
+
+use std::process::ExitCode;
+
+use emac::cli;
+use emac::core::prelude::*;
+use emac::sim::Rate;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => run(&args[1..]),
+        Some("list") => {
+            list();
+            ExitCode::SUCCESS
+        }
+        _ => {
+            usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage:\n  emac run --alg <name> --n <N> [--k <K>] [--rho P/Q] [--beta B]\n           \
+         [--rounds R] [--adversary uniform|single-target|round-robin|bursty|sleeper]\n           \
+         [--seed S] [--drain R] [--trace N] [--cap C]\n  emac list"
+    );
+}
+
+fn list() {
+    println!("algorithms (--alg):");
+    println!("  orchestra       cap 3, stable at rho = 1 (queues <= 2n^3+beta)");
+    println!("  count-hop       cap 2, universal, latency O((n^2+beta)/(1-rho))");
+    println!("  adjust-window   cap 2, universal, plain packets");
+    println!("  k-cycle         cap k (--k), oblivious, rho < (k-1)/(n-1)");
+    println!("  k-clique        cap k, oblivious direct");
+    println!("  k-subsets       cap k, oblivious direct, optimal rate k(k-1)/(n(n-1))");
+    println!("  k-subsets-rrw   bounded-latency variant");
+    println!("  duty-cycle      uncoordinated baseline (loses packets by design)");
+}
+
+fn run(args: &[String]) -> ExitCode {
+    let opts = match cli::parse(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            return ExitCode::from(2);
+        }
+    };
+    let (alg, adversary) = match cli::make_algorithm(&opts).and_then(|a| {
+        cli::make_adversary(&opts).map(|adv| (a, adv))
+    }) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Tracing requires direct simulator access; otherwise use the runner.
+    if let Some(capacity) = opts.trace {
+        use emac::sim::{SimConfig, Simulator};
+        let cap = opts.cap.unwrap_or_else(|| alg.required_cap(opts.n));
+        let cfg = SimConfig::new(opts.n, cap).adversary_type(opts.rho, Rate::integer(opts.beta));
+        let mut sim = Simulator::new(cfg, alg.build(opts.n), adversary);
+        sim.enable_trace(capacity);
+        sim.run(opts.rounds);
+        println!("last {capacity} rounds:");
+        print!("{}", sim.trace().expect("enabled").render());
+        println!(
+            "delivered {}/{} | latency max {} | max queue {} | invariants: {}",
+            sim.metrics().delivered,
+            sim.metrics().injected,
+            sim.metrics().delay.max(),
+            sim.metrics().max_total_queued,
+            sim.violations()
+        );
+        return if sim.violations().is_clean() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
+
+    let mut runner = Runner::new(opts.n).rate(opts.rho).beta(opts.beta).rounds(opts.rounds);
+    if let Some(d) = opts.drain {
+        runner = runner.drain(d);
+    }
+    if let Some(c) = opts.cap {
+        runner = runner.cap(c);
+    }
+    let report = runner.run(alg.as_ref(), adversary);
+    println!("{report}");
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

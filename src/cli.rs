@@ -1,0 +1,200 @@
+//! Argument parsing and object construction for the `emac` CLI binary.
+//!
+//! Kept in the library so the mapping from names to algorithms/adversaries
+//! is unit-testable; the binary in `src/bin/emac.rs` only does I/O.
+
+use emac_adversary::{Bursty, RoundRobinLoad, SingleTarget, SleeperTargeting, UniformRandom};
+use emac_core::prelude::*;
+use emac_sim::{Adversary, Rate};
+
+/// Parsed command-line options for `emac run`.
+#[derive(Clone, Debug)]
+pub struct Opts {
+    /// Algorithm name (see `emac list`).
+    pub alg: String,
+    /// System size.
+    pub n: usize,
+    /// Energy cap parameter for the k-algorithms.
+    pub k: usize,
+    /// Injection rate ρ.
+    pub rho: Rate,
+    /// Burstiness β.
+    pub beta: u64,
+    /// Rounds to simulate.
+    pub rounds: u64,
+    /// Adversary name.
+    pub adversary: String,
+    /// Adversary seed.
+    pub seed: u64,
+    /// Optional drain budget after the run.
+    pub drain: Option<u64>,
+    /// Optional trace window size.
+    pub trace: Option<usize>,
+    /// Optional energy-cap override.
+    pub cap: Option<usize>,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Self {
+            alg: String::new(),
+            n: 8,
+            k: 3,
+            rho: Rate::new(1, 2),
+            beta: 1,
+            rounds: 100_000,
+            adversary: "uniform".into(),
+            seed: 42,
+            drain: None,
+            trace: None,
+            cap: None,
+        }
+    }
+}
+
+/// Parse `emac run` flags.
+pub fn parse(args: &[String]) -> Result<Opts, String> {
+    let mut o = Opts::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value =
+            || it.next().map(String::as_str).ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--alg" => o.alg = value()?.to_string(),
+            "--n" => o.n = value()?.parse().map_err(|e| format!("--n: {e}"))?,
+            "--k" => o.k = value()?.parse().map_err(|e| format!("--k: {e}"))?,
+            "--rho" => o.rho = parse_rate(value()?)?,
+            "--beta" => o.beta = value()?.parse().map_err(|e| format!("--beta: {e}"))?,
+            "--rounds" => o.rounds = value()?.parse().map_err(|e| format!("--rounds: {e}"))?,
+            "--adversary" => o.adversary = value()?.to_string(),
+            "--seed" => o.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--drain" => o.drain = Some(value()?.parse().map_err(|e| format!("--drain: {e}"))?),
+            "--trace" => o.trace = Some(value()?.parse().map_err(|e| format!("--trace: {e}"))?),
+            "--cap" => o.cap = Some(value()?.parse().map_err(|e| format!("--cap: {e}"))?),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if o.alg.is_empty() {
+        return Err("--alg is required (see `emac list`)".into());
+    }
+    if o.n < 2 {
+        return Err("--n must be at least 2".into());
+    }
+    Ok(o)
+}
+
+/// Parse a rate given as `P/Q`, `1`, or a decimal in `[0, 1]`.
+pub fn parse_rate(s: &str) -> Result<Rate, String> {
+    if let Some((p, q)) = s.split_once('/') {
+        let p: u64 = p.parse().map_err(|e| format!("rate: {e}"))?;
+        let q: u64 = q.parse().map_err(|e| format!("rate: {e}"))?;
+        if q == 0 {
+            return Err("rate denominator is zero".into());
+        }
+        if p > q {
+            return Err("rate must be within [0, 1]".into());
+        }
+        Ok(Rate::new(p, q))
+    } else if s == "1" {
+        Ok(Rate::one())
+    } else {
+        let v: f64 = s.parse().map_err(|e| format!("rate: {e}"))?;
+        if !(0.0..=1.0).contains(&v) {
+            return Err("rate must be within [0, 1]".into());
+        }
+        Ok(Rate::new((v * 10_000.0).round() as u64, 10_000))
+    }
+}
+
+/// Construct the algorithm named by the options.
+pub fn make_algorithm(o: &Opts) -> Result<Box<dyn Algorithm>, String> {
+    Ok(match o.alg.as_str() {
+        "orchestra" => Box::new(Orchestra::new()),
+        "count-hop" => Box::new(CountHop::new()),
+        "adjust-window" => Box::new(AdjustWindow::new()),
+        "k-cycle" => Box::new(KCycle::new(o.k)),
+        "k-clique" => Box::new(KClique::new(o.k)),
+        "k-subsets" => Box::new(KSubsets::new(o.k)),
+        "k-subsets-rrw" => Box::new(KSubsets::with_rrw(o.k)),
+        "duty-cycle" => Box::new(DutyCycle::seeded(o.k, o.seed)),
+        other => return Err(format!("unknown algorithm {other} (see `emac list`)")),
+    })
+}
+
+/// Construct the adversary named by the options.
+pub fn make_adversary(o: &Opts) -> Result<Box<dyn Adversary>, String> {
+    Ok(match o.adversary.as_str() {
+        "uniform" => Box::new(UniformRandom::new(o.seed)),
+        "single-target" => Box::new(SingleTarget::new(0, o.n - 1)),
+        "round-robin" => Box::new(RoundRobinLoad::new()),
+        "bursty" => Box::new(Bursty::new(0, 64)),
+        "sleeper" => Box::new(SleeperTargeting::new()),
+        other => return Err(format!("unknown adversary {other}")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_full_command_line() {
+        let o = parse(&argv(
+            "--alg k-cycle --n 9 --k 3 --rho 1/5 --beta 4 --rounds 5000 \
+             --adversary round-robin --seed 9 --drain 1000 --cap 4",
+        ))
+        .unwrap();
+        assert_eq!(o.alg, "k-cycle");
+        assert_eq!((o.n, o.k, o.beta, o.rounds, o.seed), (9, 3, 4, 5000, 9));
+        assert_eq!(o.rho, Rate::new(1, 5));
+        assert_eq!(o.drain, Some(1000));
+        assert_eq!(o.cap, Some(4));
+        assert!(make_algorithm(&o).is_ok());
+        assert!(make_adversary(&o).is_ok());
+    }
+
+    #[test]
+    fn rate_forms() {
+        assert_eq!(parse_rate("1").unwrap(), Rate::one());
+        assert_eq!(parse_rate("3/4").unwrap(), Rate::new(3, 4));
+        assert_eq!(parse_rate("0.25").unwrap(), Rate::new(1, 4));
+        assert!(parse_rate("5/4").is_err());
+        assert!(parse_rate("2.0").is_err());
+        assert!(parse_rate("x").is_err());
+        assert!(parse_rate("1/0").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&argv("--n 4")).is_err(), "missing --alg");
+        assert!(parse(&argv("--alg count-hop --n 1")).is_err(), "n too small");
+        assert!(parse(&argv("--alg count-hop --bogus 1")).is_err(), "unknown flag");
+        assert!(parse(&argv("--alg count-hop --n")).is_err(), "missing value");
+        let o = parse(&argv("--alg nope")).unwrap();
+        assert!(make_algorithm(&o).is_err());
+        let o = parse(&argv("--alg count-hop --adversary nope")).unwrap();
+        assert!(make_adversary(&o).is_err());
+    }
+
+    #[test]
+    fn every_listed_algorithm_constructs() {
+        for alg in [
+            "orchestra",
+            "count-hop",
+            "adjust-window",
+            "k-cycle",
+            "k-clique",
+            "k-subsets",
+            "k-subsets-rrw",
+            "duty-cycle",
+        ] {
+            let o = parse(&[String::from("--alg"), alg.into()]).unwrap();
+            let built = make_algorithm(&o).unwrap();
+            assert!(!built.name().is_empty());
+        }
+    }
+}
