@@ -29,9 +29,7 @@ impl SleeperTargeting {
 
     fn pick(view: &SystemView<'_>) -> (StationId, StationId) {
         // Source: station switched on the fewest cumulative rounds.
-        let source = (0..view.n)
-            .min_by_key(|&s| (view.on_counts[s], s))
-            .expect("n >= 2");
+        let source = (0..view.n).min_by_key(|&s| (view.on_counts[s], s)).expect("n >= 2");
         // Destination: station asleep the longest (never-on first), != source.
         let dest = (0..view.n)
             .filter(|&s| s != source)
@@ -84,8 +82,8 @@ impl Adversary for Lemma1Adversary {
             Some(v) => view.prev_awake[v],
         };
         if need_new {
-            self.victim = (0..view.n)
-                .min_by_key(|&s| (view.last_on[s].map_or(-1i64, |r| r as i64), s));
+            self.victim =
+                (0..view.n).min_by_key(|&s| (view.last_on[s].map_or(-1i64, |r| r as i64), s));
         }
         let victim = self.victim.expect("n >= 2");
         if budget == 0 {

@@ -25,7 +25,9 @@ pub mod scripted;
 
 pub use adaptive::{Lemma1Adversary, SleeperTargeting};
 pub use oblivious_attack::{LeastOnPair, LeastOnStation};
-pub use patterns::{Alternating, Bursty, RoundRobinLoad, SingleTarget, SpreadFromOne, UniformRandom};
+pub use patterns::{
+    Alternating, Bursty, RoundRobinLoad, SingleTarget, SpreadFromOne, UniformRandom,
+};
 pub use piecewise::{Piecewise, Segment};
 pub use scripted::{Event, Scripted};
 

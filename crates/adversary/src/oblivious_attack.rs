@@ -16,7 +16,7 @@
 //! Both adversaries analyse the schedule over one period (or a caller-given
 //! horizon) at construction time and then flood the weakest point.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use emac_sim::{Adversary, Injection, OnSchedule, Round, StationId, SystemView};
 
@@ -33,7 +33,7 @@ impl LeastOnStation {
     /// Analyse `schedule` over `[0, horizon)` for a system of `n` stations
     /// and pick the least-on station. `horizon` should be a multiple of the
     /// schedule's period when one exists.
-    pub fn new(schedule: &Rc<dyn OnSchedule>, n: usize, horizon: Round) -> Self {
+    pub fn new(schedule: &Arc<dyn OnSchedule>, n: usize, horizon: Round) -> Self {
         let mut counts = vec![0u64; n];
         for r in 0..horizon {
             for s in schedule.on_set(n, r) {
@@ -75,7 +75,7 @@ pub struct LeastOnPair {
 impl LeastOnPair {
     /// Analyse `schedule` over `[0, horizon)` and pick the least
     /// co-scheduled ordered pair of distinct stations.
-    pub fn new(schedule: &Rc<dyn OnSchedule>, n: usize, horizon: Round) -> Self {
+    pub fn new(schedule: &Arc<dyn OnSchedule>, n: usize, horizon: Round) -> Self {
         let mut co = vec![0u64; n * n];
         for r in 0..horizon {
             let on = schedule.on_set(n, r);
@@ -132,7 +132,7 @@ mod tests {
 
     #[test]
     fn least_on_station_finds_starved_station() {
-        let s: Rc<dyn OnSchedule> = Rc::new(Toy);
+        let s: Arc<dyn OnSchedule> = Arc::new(Toy);
         // counts over 8 rounds: s0 = 4 (0,2,4,6), s1 = 2 (2,6), s2 = 2 (0,4),
         // s3 = 0.
         let a = LeastOnStation::new(&s, 4, 8);
@@ -141,14 +141,14 @@ mod tests {
 
     #[test]
     fn least_on_station_ties_break_low() {
-        let s: Rc<dyn OnSchedule> = Rc::new(Toy);
+        let s: Arc<dyn OnSchedule> = Arc::new(Toy);
         let a = LeastOnStation::new(&s, 3, 8); // s1 and s2 both on twice
         assert_eq!(a.target(), 1);
     }
 
     #[test]
     fn least_on_pair_finds_never_co_scheduled_pair() {
-        let s: Rc<dyn OnSchedule> = Rc::new(Toy);
+        let s: Arc<dyn OnSchedule> = Arc::new(Toy);
         // pairs: (0,1) co-on at rounds 2,6; (0,2) at 0,4; (1,2) never.
         let a = LeastOnPair::new(&s, 3, 8);
         assert_eq!(a.pair(), (1, 2));
@@ -156,7 +156,7 @@ mod tests {
 
     #[test]
     fn flood_plans_fill_budget_and_avoid_self() {
-        let s: Rc<dyn OnSchedule> = Rc::new(Toy);
+        let s: Arc<dyn OnSchedule> = Arc::new(Toy);
         let qs = vec![0; 4];
         let pa = vec![false; 4];
         let oc = vec![0u64; 4];

@@ -11,9 +11,7 @@
 //! budget*, so the realised traffic always saturates the declared type when
 //! the policy is greedy.
 
-use emac_sim::{Adversary, Injection, Round, StationId, SystemView};
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
+use emac_sim::{Adversary, Injection, Round, SmallRng, StationId, SystemView};
 
 /// Greedy single-pair flooding: every available token becomes a packet
 /// injected into `into`, destined to `dest`.

@@ -42,10 +42,7 @@ impl Scripted {
         Self::new(
             triples
                 .iter()
-                .map(|&(round, into, dest)| Event {
-                    round,
-                    injection: Injection::new(into, dest),
-                })
+                .map(|&(round, into, dest)| Event { round, injection: Injection::new(into, dest) })
                 .collect(),
         )
     }

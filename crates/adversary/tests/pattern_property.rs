@@ -1,10 +1,10 @@
 //! Properties every adversary implementation must satisfy: injections stay
 //! in range, are never self-addressed (self-addressed packets are free),
-//! and the plan never exceeds the budget it was offered.
+//! and the plan never exceeds the budget it was offered. Sampled
+//! deterministically with the workspace PRNG.
 
 use emac_adversary::prelude::*;
-use emac_sim::{Adversary, Round, SystemView};
-use proptest::prelude::*;
+use emac_sim::{Adversary, Round, SmallRng, SystemView};
 
 fn make_adversaries(n: usize, seed: u64) -> Vec<(&'static str, Box<dyn Adversary>)> {
     vec![
@@ -26,13 +26,14 @@ fn make_adversaries(n: usize, seed: u64) -> Vec<(&'static str, Box<dyn Adversary
     ]
 }
 
-proptest! {
-    #[test]
-    fn all_patterns_are_well_formed(
-        n in 3usize..12,
-        seed in 0u64..500,
-        budgets in proptest::collection::vec(0usize..6, 1..80),
-    ) {
+#[test]
+fn all_patterns_are_well_formed() {
+    let mut rng = SmallRng::seed_from_u64(0xadf0);
+    for _case in 0..48 {
+        let n = rng.random_range(3..12);
+        let seed = rng.random_range_u64(0..500);
+        let budget_count = rng.random_range(1..80);
+        let budgets: Vec<usize> = (0..budget_count).map(|_| rng.random_range(0..6)).collect();
         for (name, mut adv) in make_adversaries(n, seed) {
             let queue_sizes = vec![3usize; n];
             let mut prev_awake = vec![false; n];
@@ -50,22 +51,26 @@ proptest! {
                     last_on: &last_on,
                 };
                 let plan = adv.plan(r as Round, budget, &view);
-                prop_assert!(plan.len() <= budget + 1, "{name}: plan over budget");
+                assert!(plan.len() <= budget + 1, "{name}: plan over budget");
                 for inj in &plan {
-                    prop_assert!(inj.station < n, "{name}: station out of range");
-                    prop_assert!(inj.dest < n, "{name}: dest out of range");
-                    prop_assert!(inj.station != inj.dest, "{name}: self-addressed");
+                    assert!(inj.station < n, "{name}: station out of range");
+                    assert!(inj.dest < n, "{name}: dest out of range");
+                    assert!(inj.station != inj.dest, "{name}: self-addressed");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn scripted_is_exactly_the_script(
-        triples in proptest::collection::vec((0u64..60, 0usize..5, 0usize..5), 0..40),
-    ) {
-        let script: Vec<(u64, usize, usize)> =
-            triples.into_iter().filter(|&(_, s, d)| s != d).collect();
+#[test]
+fn scripted_is_exactly_the_script() {
+    let mut rng = SmallRng::seed_from_u64(0xadf1);
+    for _case in 0..48 {
+        let len = rng.random_range(0..40);
+        let script: Vec<(u64, usize, usize)> = (0..len)
+            .map(|_| (rng.random_range_u64(0..60), rng.random_range(0..5), rng.random_range(0..5)))
+            .filter(|&(_, s, d)| s != d)
+            .collect();
         let mut adv = Scripted::from_triples(&script);
         let queue_sizes = vec![0usize; 5];
         let prev_awake = vec![false; 5];
@@ -83,7 +88,7 @@ proptest! {
             };
             emitted += adv.plan(r, 3, &view).len();
         }
-        prop_assert_eq!(emitted, script.len());
-        prop_assert!(adv.exhausted());
+        assert_eq!(emitted, script.len());
+        assert!(adv.exhausted());
     }
 }

@@ -1,11 +1,16 @@
-//! Criterion benches for the simulator substrate itself: raw round
+//! Throughput benches for the simulator substrate itself: raw round
 //! throughput of the engine with the broadcast building blocks, and of the
 //! energy-capped algorithms with mostly-sleeping stations.
+//!
+//! ```text
+//! cargo bench -p emac-bench --bench bench_engine
+//! EMAC_BENCH_ITERS=10 cargo bench -p emac-bench --bench bench_engine
+//! ```
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 use emac_adversary::UniformRandom;
+use emac_bench::timing::bench;
 use emac_broadcast::{build_mbtf, build_of_rrw, build_rrw};
 use emac_core::prelude::*;
 use emac_sim::{BuiltAlgorithm, NoInjections, Rate, SimConfig, Simulator};
@@ -14,57 +19,43 @@ const ROUNDS: u64 = 50_000;
 
 type Builder = fn(usize) -> BuiltAlgorithm;
 
-fn engine_rounds(c: &mut Criterion) {
-    let mut g = c.benchmark_group("engine");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(ROUNDS));
+fn engine_rounds() {
+    println!("engine: {ROUNDS} rounds per call");
     let cases: [(&str, Builder); 3] =
         [("rrw_n8", build_rrw), ("of_rrw_n8", build_of_rrw), ("mbtf_n8", build_mbtf)];
     for (name, build) in cases {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let cfg = SimConfig::new(8, 8).adversary_type(Rate::new(3, 4), Rate::integer(2));
-                let mut sim = Simulator::new(cfg, build(8), Box::new(UniformRandom::new(1)));
-                sim.run(ROUNDS);
-                assert!(sim.violations().is_clean());
-                black_box(sim.metrics().delivered)
-            })
-        });
-    }
-    g.finish();
-}
-
-fn sleeping_stations(c: &mut Criterion) {
-    // Energy-capped algorithms keep all but cap stations asleep; per-round
-    // cost should be dominated by the awake set, not n.
-    let mut g = c.benchmark_group("sleeping");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(ROUNDS));
-    g.bench_function("counthop_idle_n16", |b| {
-        b.iter(|| {
-            let cfg = SimConfig::new(16, 2);
-            let mut sim =
-                Simulator::new(cfg, CountHop::new().build(16), Box::new(NoInjections));
-            sim.run(ROUNDS);
-            black_box(sim.metrics().energy_total)
-        })
-    });
-    g.bench_function("kcycle_loaded_n16_k4", |b| {
-        b.iter(|| {
-            let rho = bounds::k_cycle_rate_threshold(16, 4).scaled(4, 5);
-            let cfg = SimConfig::new(16, 4).adversary_type(rho, Rate::integer(2));
-            let mut sim = Simulator::new(
-                cfg,
-                KCycle::new(4).build(16),
-                Box::new(UniformRandom::new(2)),
-            );
+        bench(name, ROUNDS, || {
+            let cfg = SimConfig::new(8, 8).adversary_type(Rate::new(3, 4), Rate::integer(2));
+            let mut sim = Simulator::new(cfg, build(8), Box::new(UniformRandom::new(1)));
             sim.run(ROUNDS);
             assert!(sim.violations().is_clean());
-            black_box(sim.metrics().delivered)
-        })
-    });
-    g.finish();
+            black_box(sim.metrics().delivered);
+        });
+    }
 }
 
-criterion_group!(engine, engine_rounds, sleeping_stations);
-criterion_main!(engine);
+fn sleeping_stations() {
+    // Energy-capped algorithms keep all but cap stations asleep; per-round
+    // cost should be dominated by the awake set, not n.
+    println!("sleeping: {ROUNDS} rounds per call");
+    bench("counthop_idle_n16", ROUNDS, || {
+        let cfg = SimConfig::new(16, 2);
+        let mut sim = Simulator::new(cfg, CountHop::new().build(16), Box::new(NoInjections));
+        sim.run(ROUNDS);
+        black_box(sim.metrics().energy_total);
+    });
+    bench("kcycle_loaded_n16_k4", ROUNDS, || {
+        let rho = bounds::k_cycle_rate_threshold(16, 4).scaled(4, 5);
+        let cfg = SimConfig::new(16, 4).adversary_type(rho, Rate::integer(2));
+        let mut sim =
+            Simulator::new(cfg, KCycle::new(4).build(16), Box::new(UniformRandom::new(2)));
+        sim.run(ROUNDS);
+        assert!(sim.violations().is_clean());
+        black_box(sim.metrics().delivered);
+    });
+}
+
+fn main() {
+    engine_rounds();
+    sleeping_stations();
+}

@@ -1,155 +1,115 @@
-//! Criterion benches, one group per Table-1 row: wall-clock cost of
-//! simulating each algorithm in its claimed regime (shrunk configurations;
-//! the full-scale reproduction lives in the `table1` binary).
+//! Throughput benches, one per Table-1 row: wall-clock cost of simulating
+//! each algorithm in its claimed regime (shrunk configurations; the
+//! full-scale reproduction lives in the `table1` binary).
+//!
+//! ```text
+//! cargo bench -p emac-bench --bench bench_table1
+//! ```
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use emac_adversary::{LeastOnPair, LeastOnStation, SingleTarget, UniformRandom};
+use emac_bench::timing::bench;
 use emac_core::prelude::*;
 use emac_core::Runner;
 use emac_sim::Rate;
 
 const ROUNDS: u64 = 20_000;
 
-fn row1_orchestra(c: &mut Criterion) {
-    c.bench_function("row1/orchestra_n6_rho1", |b| {
-        b.iter(|| {
-            let r = Runner::new(6)
-                .rate(Rate::one())
-                .beta(2)
-                .rounds(ROUNDS)
-                .run(&Orchestra::new(), Box::new(SingleTarget::new(0, 3)));
-            assert!(r.clean());
-            black_box(r.max_queue())
-        })
-    });
-}
+fn main() {
+    println!("table-1 regimes: {ROUNDS} rounds per call");
 
-fn row2_impossibility_cap2(c: &mut Criterion) {
-    c.bench_function("row2/counthop_n6_rho1_diverging", |b| {
-        b.iter(|| {
-            let r = Runner::new(6)
-                .rate(Rate::one())
-                .beta(2)
-                .rounds(ROUNDS)
-                .run(&CountHop::new(), Box::new(SingleTarget::new(0, 3)));
-            black_box(r.stability.slope)
-        })
+    bench("row1/orchestra_n6_rho1", ROUNDS, || {
+        let r = Runner::new(6)
+            .rate(Rate::one())
+            .beta(2)
+            .rounds(ROUNDS)
+            .run(&Orchestra::new(), Box::new(SingleTarget::new(0, 3)));
+        assert!(r.clean());
+        black_box(r.max_queue());
     });
-}
 
-fn row3_count_hop(c: &mut Criterion) {
-    c.bench_function("row3/counthop_n8_rho05", |b| {
-        b.iter(|| {
-            let r = Runner::new(8)
-                .rate(Rate::new(1, 2))
-                .beta(2)
-                .rounds(ROUNDS)
-                .run(&CountHop::new(), Box::new(UniformRandom::new(1)));
-            assert!(r.clean());
-            black_box(r.latency())
-        })
+    bench("row2/counthop_n6_rho1_diverging", ROUNDS, || {
+        let r = Runner::new(6)
+            .rate(Rate::one())
+            .beta(2)
+            .rounds(ROUNDS)
+            .run(&CountHop::new(), Box::new(SingleTarget::new(0, 3)));
+        black_box(r.stability.slope);
     });
-}
 
-fn row4_adjust_window(c: &mut Criterion) {
+    bench("row3/counthop_n8_rho05", ROUNDS, || {
+        let r = Runner::new(8)
+            .rate(Rate::new(1, 2))
+            .beta(2)
+            .rounds(ROUNDS)
+            .run(&CountHop::new(), Box::new(UniformRandom::new(1)));
+        assert!(r.clean());
+        black_box(r.latency());
+    });
+
     let w = emac_core::adjust_window::WindowCfg::first(3);
-    c.bench_function("row4/adjustwindow_n3_rho05", |b| {
-        b.iter(|| {
-            let r = Runner::new(3)
-                .rate(Rate::new(1, 2))
-                .beta(2)
-                .rounds(3 * w.l)
-                .run(&AdjustWindow::new(), Box::new(UniformRandom::new(2)));
-            assert!(r.clean());
-            black_box(r.latency())
-        })
+    bench("row4/adjustwindow_n3_rho05", 3 * w.l, || {
+        let r = Runner::new(3)
+            .rate(Rate::new(1, 2))
+            .beta(2)
+            .rounds(3 * w.l)
+            .run(&AdjustWindow::new(), Box::new(UniformRandom::new(2)));
+        assert!(r.clean());
+        black_box(r.latency());
     });
-}
 
-fn row5_k_cycle(c: &mut Criterion) {
-    c.bench_function("row5/kcycle_n9_k3", |b| {
-        b.iter(|| {
-            let rho = bounds::k_cycle_rate_threshold(9, 3).scaled(4, 5);
-            let r = Runner::new(9)
-                .rate(rho)
-                .beta(2)
-                .rounds(ROUNDS)
-                .run(&KCycle::new(3), Box::new(UniformRandom::new(3)));
-            assert!(r.clean());
-            black_box(r.latency())
-        })
+    bench("row5/kcycle_n9_k3", ROUNDS, || {
+        let rho = bounds::k_cycle_rate_threshold(9, 3).scaled(4, 5);
+        let r = Runner::new(9)
+            .rate(rho)
+            .beta(2)
+            .rounds(ROUNDS)
+            .run(&KCycle::new(3), Box::new(UniformRandom::new(3)));
+        assert!(r.clean());
+        black_box(r.latency());
     });
-}
 
-fn row6_impossibility_oblivious(c: &mut Criterion) {
-    c.bench_function("row6/kcycle_n9_k3_leaston_diverging", |b| {
-        b.iter(|| {
-            let alg = KCycle::new(3);
-            let p = alg.params(9);
-            let horizon = p.delta() * p.groups() as u64;
-            let rho = bounds::oblivious_rate_threshold(9, 3).scaled(6, 5);
-            let r = Runner::new(9).rate(rho).beta(2).rounds(ROUNDS).run_against(&alg, |s| {
-                Box::new(LeastOnStation::new(s.expect("oblivious"), 9, horizon))
-            });
-            black_box(r.stability.slope)
-        })
+    bench("row6/kcycle_n9_k3_leaston_diverging", ROUNDS, || {
+        let alg = KCycle::new(3);
+        let p = alg.params(9);
+        let horizon = p.delta() * p.groups() as u64;
+        let rho = bounds::oblivious_rate_threshold(9, 3).scaled(6, 5);
+        let r = Runner::new(9).rate(rho).beta(2).rounds(ROUNDS).run_against(&alg, |s| {
+            Box::new(LeastOnStation::new(s.expect("oblivious"), 9, horizon))
+        });
+        black_box(r.stability.slope);
     });
-}
 
-fn row7_k_clique(c: &mut Criterion) {
-    c.bench_function("row7/kclique_n8_k4", |b| {
-        b.iter(|| {
-            let rho = bounds::k_clique_rate_for_latency(8, 4);
-            let r = Runner::new(8)
-                .rate(rho)
-                .beta(2)
-                .rounds(ROUNDS)
-                .run(&KClique::new(4), Box::new(UniformRandom::new(4)));
-            assert!(r.clean());
-            black_box(r.latency())
-        })
+    bench("row7/kclique_n8_k4", ROUNDS, || {
+        let rho = bounds::k_clique_rate_for_latency(8, 4);
+        let r = Runner::new(8)
+            .rate(rho)
+            .beta(2)
+            .rounds(ROUNDS)
+            .run(&KClique::new(4), Box::new(UniformRandom::new(4)));
+        assert!(r.clean());
+        black_box(r.latency());
     });
-}
 
-fn row8_k_subsets(c: &mut Criterion) {
-    c.bench_function("row8/ksubsets_n6_k3", |b| {
-        b.iter(|| {
-            let rho = bounds::k_subsets_rate_threshold(6, 3);
-            let r = Runner::new(6)
-                .rate(rho)
-                .beta(2)
-                .rounds(ROUNDS)
-                .run(&KSubsets::new(3), Box::new(SingleTarget::new(0, 5)));
-            assert!(r.clean());
-            black_box(r.max_queue())
-        })
+    bench("row8/ksubsets_n6_k3", ROUNDS, || {
+        let rho = bounds::k_subsets_rate_threshold(6, 3);
+        let r = Runner::new(6)
+            .rate(rho)
+            .beta(2)
+            .rounds(ROUNDS)
+            .run(&KSubsets::new(3), Box::new(SingleTarget::new(0, 5)));
+        assert!(r.clean());
+        black_box(r.max_queue());
     });
-}
 
-fn row9_impossibility_direct(c: &mut Criterion) {
-    c.bench_function("row9/ksubsets_n6_k3_leastpair_diverging", |b| {
-        b.iter(|| {
-            let alg = KSubsets::new(3);
-            let rho = bounds::k_subsets_rate_threshold(6, 3).scaled(3, 2);
-            let r = Runner::new(6).rate(rho).beta(2).rounds(ROUNDS).run_against(&alg, |s| {
+    bench("row9/ksubsets_n6_k3_leastpair_diverging", ROUNDS, || {
+        let alg = KSubsets::new(3);
+        let rho = bounds::k_subsets_rate_threshold(6, 3).scaled(3, 2);
+        let r =
+            Runner::new(6).rate(rho).beta(2).rounds(ROUNDS).run_against(&alg, |s| {
                 Box::new(LeastOnPair::new(s.expect("oblivious"), 6, 20_000))
             });
-            black_box(r.stability.slope)
-        })
+        black_box(r.stability.slope);
     });
 }
-
-fn configure() -> Criterion {
-    Criterion::default().sample_size(10)
-}
-
-criterion_group! {
-    name = table1;
-    config = configure();
-    targets = row1_orchestra, row2_impossibility_cap2, row3_count_hop, row4_adjust_window,
-              row5_k_cycle, row6_impossibility_oblivious, row7_k_clique, row8_k_subsets,
-              row9_impossibility_direct
-}
-criterion_main!(table1);

@@ -4,15 +4,17 @@
 //! growth, the 1/(1−ρ) latency blow-up, scaling in n, the stability
 //! frontier of an oblivious algorithm, and the energy–latency trade-off.
 //!
+//! Each figure declares its sweep as campaign scenarios and executes them
+//! in parallel through [`emac_bench::run_all`].
+//!
 //! ```text
 //! cargo run --release -p emac-bench --bin figures
 //! # series land in results/*.csv
 //! ```
 
-use emac_adversary::{SingleTarget, UniformRandom};
-use emac_bench::write_csv;
+use emac_bench::{run_all, write_csv};
+use emac_core::campaign::ScenarioSpec;
 use emac_core::prelude::*;
-use emac_core::Runner;
 use emac_sim::Rate;
 
 fn main() -> std::io::Result<()> {
@@ -29,17 +31,19 @@ fn main() -> std::io::Result<()> {
 /// Count-Hop (cap 2, provably unbounded).
 fn f1_queue_growth() -> std::io::Result<()> {
     let n = 6;
-    let rounds = 120_000;
-    let orch = Runner::new(n)
-        .rate(Rate::one())
-        .beta(2)
-        .rounds(rounds)
-        .run(&Orchestra::new(), Box::new(SingleTarget::new(0, 2)));
-    let ch = Runner::new(n)
-        .rate(Rate::one())
-        .beta(2)
-        .rounds(rounds)
-        .run(&CountHop::new(), Box::new(SingleTarget::new(0, 2)));
+    let specs: Vec<ScenarioSpec> = ["orchestra", "count-hop"]
+        .into_iter()
+        .map(|alg| {
+            ScenarioSpec::new(alg, "single-target")
+                .n(n)
+                .rho(Rate::one())
+                .beta(2u64)
+                .rounds(120_000)
+                .flood(0, 2)
+        })
+        .collect();
+    let reports = run_all(&specs);
+    let (orch, ch) = (&reports[0], &reports[1]);
     let rows: Vec<String> = orch
         .metrics
         .queue_series
@@ -56,48 +60,81 @@ fn f1_queue_growth() -> std::io::Result<()> {
 
 /// F2: latency vs rho for the two universal algorithms (hyperbolic shape).
 fn f2_latency_vs_rho() -> std::io::Result<()> {
-    let mut rows = Vec::new();
-    for p in [1u64, 2, 3, 4, 5, 6, 7, 8, 9] {
+    let n = 4;
+    let rhos: Vec<u64> = (1..=9).collect();
+    let mut specs = Vec::new();
+    for &p in &rhos {
         let rho = Rate::new(p, 10);
-        let n = 4;
-        let ch = Runner::new(n)
-            .rate(rho)
-            .beta(2)
-            .rounds(120_000)
-            .run(&CountHop::new(), Box::new(UniformRandom::new(p)));
+        specs.push(
+            ScenarioSpec::new("count-hop", "uniform")
+                .n(n)
+                .rho(rho)
+                .beta(2u64)
+                .rounds(120_000)
+                .seed(p),
+        );
         let w = emac_core::adjust_window::WindowCfg::first(n);
-        let aw = Runner::new(n)
-            .rate(rho)
-            .beta(2)
-            .rounds(10 * w.l)
-            .run(&AdjustWindow::new(), Box::new(UniformRandom::new(p)));
-        rows.push(format!("{},{},{}", rho.as_f64(), ch.latency(), aw.latency()));
-        println!("F2: rho={:.1} count-hop {} adjust-window {}", rho.as_f64(), ch.latency(), aw.latency());
+        specs.push(
+            ScenarioSpec::new("adjust-window", "uniform")
+                .n(n)
+                .rho(rho)
+                .beta(2u64)
+                .rounds(10 * w.l)
+                .seed(p),
+        );
+    }
+    let reports = run_all(&specs);
+    let mut rows = Vec::new();
+    for (i, &p) in rhos.iter().enumerate() {
+        let (ch, aw) = (&reports[2 * i], &reports[2 * i + 1]);
+        rows.push(format!("{},{},{}", Rate::new(p, 10).as_f64(), ch.latency(), aw.latency()));
+        println!(
+            "F2: rho={:.1} count-hop {} adjust-window {}",
+            Rate::new(p, 10).as_f64(),
+            ch.latency(),
+            aw.latency()
+        );
     }
     write_csv("results/f2_latency_vs_rho.csv", "rho,counthop_latency,adjustwindow_latency", &rows)
 }
 
 /// F3: latency vs n at a load scaled to each algorithm's regime.
 fn f3_latency_vs_n() -> std::io::Result<()> {
-    let beta = 2u64;
+    let ns = [6usize, 9, 12, 16];
+    let k = 3usize;
+    let mut specs = Vec::new();
+    for &n in &ns {
+        specs.push(
+            ScenarioSpec::new("count-hop", "uniform")
+                .n(n)
+                .rho(Rate::new(1, 2))
+                .beta(2u64)
+                .rounds(150_000)
+                .seed(1),
+        );
+        specs.push(
+            ScenarioSpec::new("k-cycle", "uniform")
+                .n(n)
+                .k(k)
+                .rho(bounds::k_cycle_rate_threshold(n as u64, k as u64).scaled(4, 5))
+                .beta(2u64)
+                .rounds(200_000)
+                .seed(2),
+        );
+        specs.push(
+            ScenarioSpec::new("k-clique", "uniform")
+                .n(n)
+                .k(4)
+                .rho(bounds::k_clique_rate_for_latency(n as u64, 4))
+                .beta(2u64)
+                .rounds(400_000)
+                .seed(3),
+        );
+    }
+    let reports = run_all(&specs);
     let mut rows = Vec::new();
-    for n in [6usize, 9, 12, 16] {
-        let k = 3usize;
-        let ch = Runner::new(n)
-            .rate(Rate::new(1, 2))
-            .beta(beta)
-            .rounds(150_000)
-            .run(&CountHop::new(), Box::new(UniformRandom::new(1)));
-        let kc = Runner::new(n)
-            .rate(bounds::k_cycle_rate_threshold(n as u64, k as u64).scaled(4, 5))
-            .beta(beta)
-            .rounds(200_000)
-            .run(&KCycle::new(k), Box::new(UniformRandom::new(2)));
-        let kq = Runner::new(n)
-            .rate(bounds::k_clique_rate_for_latency(n as u64, 4))
-            .beta(beta)
-            .rounds(400_000)
-            .run(&KClique::new(4), Box::new(UniformRandom::new(3)));
+    for (i, &n) in ns.iter().enumerate() {
+        let (ch, kc, kq) = (&reports[3 * i], &reports[3 * i + 1], &reports[3 * i + 2]);
         rows.push(format!("{n},{},{},{}", ch.latency(), kc.latency(), kq.latency()));
         println!(
             "F3: n={n} count-hop {} k-cycle {} k-clique {}",
@@ -118,27 +155,30 @@ fn f3_latency_vs_n() -> std::io::Result<()> {
 /// above k/n ≈ 0.333; the sweep locates the empirical crossover.
 fn f4_stability_frontier() -> std::io::Result<()> {
     let (n, k) = (9usize, 3usize);
-    let alg = KCycle::new(k);
-    let p = alg.params(n);
+    let p = KCycle::new(k).params(n);
     let horizon = p.delta() * p.groups() as u64;
+    let specs: Vec<ScenarioSpec> = (4..=11u64)
+        .map(|num| {
+            // 0.167 .. 0.458 around [0.25, 0.333]
+            ScenarioSpec::new("k-cycle", "least-on")
+                .n(n)
+                .k(k)
+                .rho(Rate::new(num, 24))
+                .beta(2u64)
+                .rounds(250_000)
+                .horizon(horizon)
+        })
+        .collect();
+    let reports = run_all(&specs);
     let mut rows = Vec::new();
-    for num in 4..=11u64 {
-        let rho = Rate::new(num, 24); // 0.167 .. 0.458 around [0.25, 0.333]
-        let r = Runner::new(n).rate(rho).beta(2).rounds(250_000).run_against(&alg, |s| {
-            Box::new(emac_adversary::LeastOnStation::new(s.expect("oblivious"), n, horizon))
-        });
+    for (s, r) in specs.iter().zip(&reports) {
         println!(
             "F4: rho={:.3} slope {:+.4} {:?}",
-            rho.as_f64(),
+            s.rho.as_f64(),
             r.stability.slope,
             r.stability.verdict
         );
-        rows.push(format!(
-            "{},{},{:?}",
-            rho.as_f64(),
-            r.stability.slope,
-            r.stability.verdict
-        ));
+        rows.push(format!("{},{},{:?}", s.rho.as_f64(), r.stability.slope, r.stability.verdict));
     }
     write_csv("results/f4_stability_frontier.csv", "rho,slope,verdict", &rows)
 }
@@ -148,18 +188,32 @@ fn f4_stability_frontier() -> std::io::Result<()> {
 fn f5_energy_tradeoff() -> std::io::Result<()> {
     let n = 12usize;
     let rho = Rate::new(1, 50);
+    let ks = [3usize, 4, 5, 6];
+    let mut specs = Vec::new();
+    for &k in &ks {
+        specs.push(
+            ScenarioSpec::new("k-cycle", "uniform")
+                .n(n)
+                .k(k)
+                .rho(rho)
+                .beta(2u64)
+                .rounds(200_000)
+                .seed(4),
+        );
+        specs.push(
+            ScenarioSpec::new("k-clique", "uniform")
+                .n(n)
+                .k(k)
+                .rho(rho)
+                .beta(2u64)
+                .rounds(200_000)
+                .seed(5),
+        );
+    }
+    let reports = run_all(&specs);
     let mut rows = Vec::new();
-    for k in [3usize, 4, 5, 6] {
-        let kc = Runner::new(n)
-            .rate(rho)
-            .beta(2)
-            .rounds(200_000)
-            .run(&KCycle::new(k), Box::new(UniformRandom::new(4)));
-        let kq = Runner::new(n)
-            .rate(rho)
-            .beta(2)
-            .rounds(200_000)
-            .run(&KClique::new(k), Box::new(UniformRandom::new(5)));
+    for (i, &k) in ks.iter().enumerate() {
+        let (kc, kq) = (&reports[2 * i], &reports[2 * i + 1]);
         println!(
             "F5: k={k} k-cycle latency {} energy {:.2} | k-clique latency {} energy {:.2}",
             kc.latency(),

@@ -1,96 +1,113 @@
 //! Constructive demonstrations of the paper's three impossibility results
 //! (Table 1 rows 2, 6 and 9): run the matching adversary just above the
 //! proven threshold and watch queues grow linearly; run just below it for
-//! contrast.
+//! contrast. All theorems' sweeps execute through one parallel campaign.
 //!
 //! ```text
 //! cargo run --release -p emac-bench --bin impossibility
 //! ```
 
-use emac_adversary::{LeastOnPair, LeastOnStation, SingleTarget, SleeperTargeting};
-use emac_bench::{print_row, Comparison};
+use emac_bench::{execute_rows, Planned};
+use emac_core::campaign::ScenarioSpec;
 use emac_core::prelude::*;
-use emac_core::Runner;
 use emac_sim::Rate;
 
 fn main() {
+    let mut rows: Vec<(String, Vec<Planned>)> = Vec::new();
+
     // ---- Theorem 2: cap 2 at rate 1 ----
-    let mut rows = Vec::new();
+    let mut plans = Vec::new();
     for n in [4usize, 6, 8] {
-        let r = Runner::new(n)
-            .rate(Rate::one())
-            .beta(2)
-            .rounds(200_000)
-            .run(&CountHop::new(), Box::new(SleeperTargeting::new()));
-        rows.push(Comparison::slope(
+        plans.push(Planned::slope(
             format!("Count-Hop n={n} rho=1 sleeper-targeting adversary"),
-            &r,
+            ScenarioSpec::new("count-hop", "sleeper")
+                .n(n)
+                .rho(Rate::one())
+                .beta(2u64)
+                .rounds(200_000),
         ));
-        let r = Runner::new(n)
-            .rate(Rate::one())
-            .beta(2)
-            .rounds(200_000)
-            .run(&CountHop::new(), Box::new(SingleTarget::new(0, n - 2)));
-        rows.push(Comparison::slope(format!("Count-Hop n={n} rho=1 single-target"), &r));
+        plans.push(Planned::slope(
+            format!("Count-Hop n={n} rho=1 single-target"),
+            ScenarioSpec::new("count-hop", "single-target")
+                .n(n)
+                .rho(Rate::one())
+                .beta(2u64)
+                .rounds(200_000)
+                .flood(0, n - 2),
+        ));
     }
     {
         let n = 3;
         let w = emac_core::adjust_window::WindowCfg::first(n);
-        let r = Runner::new(n)
-            .rate(Rate::one())
-            .beta(2)
-            .rounds(25 * w.l)
-            .run(&AdjustWindow::new(), Box::new(SingleTarget::new(0, 2)));
-        rows.push(Comparison::slope(format!("Adjust-Window n={n} rho=1 single-target"), &r));
+        plans.push(Planned::slope(
+            format!("Adjust-Window n={n} rho=1 single-target"),
+            ScenarioSpec::new("adjust-window", "single-target")
+                .n(n)
+                .rho(Rate::one())
+                .beta(2u64)
+                .rounds(25 * w.l)
+                .flood(0, 2),
+        ));
     }
-    print_row(
-        "Theorem 2 — energy cap 2 cannot sustain rate 1 (queues must grow; slope > 0)",
-        &rows,
-    );
+    rows.push((
+        "Theorem 2 — energy cap 2 cannot sustain rate 1 (queues must grow; slope > 0)".into(),
+        plans,
+    ));
 
     // ---- Theorem 6: k-oblivious above k/n ----
-    let mut rows = Vec::new();
+    let mut plans = Vec::new();
     for (n, k) in [(9usize, 3usize), (13, 4), (16, 5)] {
-        let alg = KCycle::new(k);
-        let p = alg.params(n);
+        let p = KCycle::new(k).params(n);
         let horizon = p.delta() * p.groups() as u64;
-        for (scale, tag) in [((6u64, 5u64), "1.2x k/n  (above: diverge)"),
-                             ((4, 5), "0.8x(k-1)/(n-1) (below: stable)")] {
+        for (scale, tag) in [
+            ((6u64, 5u64), "1.2x k/n  (above: diverge)"),
+            ((4, 5), "0.8x(k-1)/(n-1) (below: stable)"),
+        ] {
             let rho = if tag.starts_with("1.2") {
                 bounds::oblivious_rate_threshold(n as u64, k as u64).scaled(scale.0, scale.1)
             } else {
                 bounds::k_cycle_rate_threshold(n as u64, k as u64).scaled(scale.0, scale.1)
             };
-            let r = Runner::new(n).rate(rho).beta(2).rounds(200_000).run_against(&alg, |s| {
-                Box::new(LeastOnStation::new(s.expect("oblivious"), n, horizon))
-            });
-            rows.push(Comparison::slope(format!("k-Cycle n={n} k={k} {tag}"), &r));
+            plans.push(Planned::slope(
+                format!("k-Cycle n={n} k={k} {tag}"),
+                ScenarioSpec::new("k-cycle", "least-on")
+                    .n(n)
+                    .k(k)
+                    .rho(rho)
+                    .beta(2u64)
+                    .rounds(200_000)
+                    .horizon(horizon),
+            ));
         }
     }
-    print_row("Theorem 6 — k-energy-oblivious routing is unstable above k/n", &rows);
+    rows.push(("Theorem 6 — k-energy-oblivious routing is unstable above k/n".into(), plans));
 
     // ---- Theorem 9: oblivious direct above k(k-1)/(n(n-1)) ----
-    let mut rows = Vec::new();
+    let mut plans = Vec::new();
     for (n, k) in [(6usize, 3usize), (8, 4), (10, 4)] {
-        for alg in [
-            Box::new(KSubsets::new(k)) as Box<dyn Algorithm>,
-            Box::new(KClique::new(k)) as Box<dyn Algorithm>,
-        ] {
-            for (num, den, tag) in [(3u64, 2u64, "1.5x thr (above: diverge)"),
-                                    (9, 10, "0.9x thr (below)")] {
-                let rho = bounds::k_subsets_rate_threshold(n as u64, k as u64).scaled(num, den);
-                let r = Runner::new(n).rate(rho).beta(2).rounds(200_000).run_against(
-                    alg.as_ref(),
-                    |s| Box::new(LeastOnPair::new(s.expect("oblivious"), n, 20_000)),
-                );
-                rows.push(Comparison::slope(format!("{} n={n} {tag}", alg.name()), &r));
+        for alg in ["k-subsets", "k-clique"] {
+            for (num, den, tag) in
+                [(3u64, 2u64, "1.5x thr (above: diverge)"), (9, 10, "0.9x thr (below)")]
+            {
+                plans.push(Planned::slope(
+                    format!("{alg} n={n} k={k} {tag}"),
+                    ScenarioSpec::new(alg, "least-on-pair")
+                        .n(n)
+                        .k(k)
+                        .rho(bounds::k_subsets_rate_threshold(n as u64, k as u64).scaled(num, den))
+                        .beta(2u64)
+                        .rounds(200_000)
+                        .horizon(20_000),
+                ));
             }
         }
     }
-    print_row(
-        "Theorem 9 — oblivious direct routing is unstable above k(k−1)/(n(n−1))",
-        &rows,
-    );
+    rows.push((
+        "Theorem 9 — oblivious direct routing is unstable above k(k−1)/(n(n−1))".into(),
+        plans,
+    ));
+
+    execute_rows(rows);
 
     println!("\nnote: k-Clique's own stability threshold k²/(n(2n−k)) is below the Theorem-9");
     println!("bound, so its 0.9x-threshold rows may diverge — only k-Subsets attains the bound.");

@@ -2,223 +2,234 @@
 //! algorithm in the regime the row claims and compare the measured queue
 //! size or latency against the paper's bound.
 //!
+//! Every row *declares* its sweep as campaign scenarios; all rows execute
+//! through one parallel [`emac_core::campaign::Campaign`].
+//!
 //! ```text
 //! cargo run --release -p emac-bench --bin table1
 //! ```
 
-use emac_adversary::{
-    LeastOnPair, LeastOnStation, RoundRobinLoad, SingleTarget, UniformRandom,
-};
-use emac_bench::{print_row, Comparison};
+use emac_bench::{execute_rows, Planned};
+use emac_core::campaign::ScenarioSpec;
 use emac_core::prelude::*;
-use emac_core::Runner;
 use emac_sim::Rate;
+
+const BETA: u64 = 2;
 
 fn main() {
     println!("Table 1 reproduction — Energy Efficient Adversarial Routing in Shared Channels");
     println!("measured vs paper bound; 'x' column = measured / bound (≤ 1 confirms the bound)");
-    let mut all_ok = true;
+    let mut rows: Vec<(String, Vec<Planned>)> = Vec::new();
 
     // ---- Row 1: Orchestra, rho = 1, cap 3, queues <= 2n^3 + beta ----
-    let beta = 2u64;
-    let mut rows = Vec::new();
+    let mut plans = Vec::new();
     for n in [4usize, 6, 8] {
-        let bound = bounds::orchestra_queue_bound(n as u64, beta as f64);
-        let r = Runner::new(n)
-            .rate(Rate::one())
-            .beta(beta)
-            .rounds(200_000)
-            .run(&Orchestra::new(), Box::new(SingleTarget::new(0, n - 2)));
-        rows.push(Comparison::queue(
-            format!("Orchestra n={n} beta={beta} rho=1 single-target"),
-            &r,
+        let bound = bounds::orchestra_queue_bound(n as u64, BETA as f64);
+        plans.push(Planned::queue(
+            format!("Orchestra n={n} beta={BETA} rho=1 single-target"),
+            ScenarioSpec::new("orchestra", "single-target")
+                .n(n)
+                .rho(Rate::one())
+                .beta(BETA)
+                .rounds(200_000)
+                .flood(0, n - 2),
             bound,
         ));
-        let r = Runner::new(n)
-            .rate(Rate::one())
-            .beta(beta)
-            .rounds(200_000)
-            .run(&Orchestra::new(), Box::new(RoundRobinLoad::new()));
-        rows.push(Comparison::queue(
-            format!("Orchestra n={n} beta={beta} rho=1 round-robin"),
-            &r,
+        plans.push(Planned::queue(
+            format!("Orchestra n={n} beta={BETA} rho=1 round-robin"),
+            ScenarioSpec::new("orchestra", "round-robin")
+                .n(n)
+                .rho(Rate::one())
+                .beta(BETA)
+                .rounds(200_000),
             bound,
         ));
     }
-    all_ok &= print_row("Row 1  Orchestra — queues ≤ 2n³+β at rho = 1 (cap 3)", &rows);
+    rows.push(("Row 1  Orchestra — queues ≤ 2n³+β at rho = 1 (cap 3)".into(), plans));
 
     // ---- Row 2: impossibility at cap 2, rho = 1 ----
-    let mut rows = Vec::new();
+    let mut plans = Vec::new();
     for n in [4usize, 6] {
-        let r = Runner::new(n)
-            .rate(Rate::one())
-            .beta(2)
-            .rounds(150_000)
-            .run(&CountHop::new(), Box::new(SingleTarget::new(0, n - 2)));
-        rows.push(Comparison::slope(format!("Count-Hop n={n} cap=2 rho=1 (must diverge)"), &r));
-        let r = Runner::new(n)
-            .rate(Rate::new(9, 10))
-            .beta(2)
-            .rounds(150_000)
-            .run(&CountHop::new(), Box::new(SingleTarget::new(0, n - 2)));
-        rows.push(Comparison::slope(format!("Count-Hop n={n} cap=2 rho=0.9 (contrast)"), &r));
-    }
-    all_ok &= print_row(
-        "Row 2  Impossibility — no cap-2 algorithm is stable at rho = 1 (Thm 2)",
-        &rows,
-    );
-
-    // ---- Row 3: Count-Hop latency <= 2(n^2+beta)/(1-rho) ----
-    let mut rows = Vec::new();
-    for n in [4u64, 8, 12, 16] {
-        for (p, q) in [(1u64, 2u64), (9, 10)] {
-            let rho = Rate::new(p, q);
-            let r = Runner::new(n as usize)
-                .rate(rho)
-                .beta(beta)
-                .rounds(150_000)
-                .run(&CountHop::new(), Box::new(UniformRandom::new(n)));
-            rows.push(Comparison::latency(
-                format!("Count-Hop n={n} rho={p}/{q} beta={beta} [impl: 2x n² coeff]"),
-                &r,
-                bounds::count_hop_impl_latency_bound(n, rho.as_f64(), beta as f64),
+        for (rho, tag) in
+            [(Rate::one(), "rho=1 (must diverge)"), (Rate::new(9, 10), "rho=0.9 (contrast)")]
+        {
+            plans.push(Planned::slope(
+                format!("Count-Hop n={n} cap=2 {tag}"),
+                ScenarioSpec::new("count-hop", "single-target")
+                    .n(n)
+                    .rho(rho)
+                    .beta(BETA)
+                    .rounds(150_000)
+                    .flood(0, n - 2),
             ));
         }
     }
-    all_ok &= print_row("Row 3  Count-Hop — latency ≤ 2(n²+β)/(1−ρ), cap 2", &rows);
+    rows.push((
+        "Row 2  Impossibility — no cap-2 algorithm is stable at rho = 1 (Thm 2)".into(),
+        plans,
+    ));
+
+    // ---- Row 3: Count-Hop latency <= 2(n^2+beta)/(1-rho) ----
+    let mut plans = Vec::new();
+    for n in [4u64, 8, 12, 16] {
+        for (p, q) in [(1u64, 2u64), (9, 10)] {
+            let rho = Rate::new(p, q);
+            plans.push(Planned::latency(
+                format!("Count-Hop n={n} rho={p}/{q} beta={BETA} [impl: 2x n² coeff]"),
+                ScenarioSpec::new("count-hop", "uniform")
+                    .n(n as usize)
+                    .rho(rho)
+                    .beta(BETA)
+                    .rounds(150_000)
+                    .seed(n),
+                bounds::count_hop_impl_latency_bound(n, rho.as_f64(), BETA as f64),
+            ));
+        }
+    }
+    rows.push(("Row 3  Count-Hop — latency ≤ 2(n²+β)/(1−ρ), cap 2".into(), plans));
 
     // ---- Row 4: Adjust-Window latency <= (18 n^3 log^2 n + 2 beta)/(1-rho) ----
     // The paper's bound is asymptotic in n (it replaces lg L by Θ(log n));
     // the exact bound of this implementation is 2·L*, the steady window
     // size. Both ratios are reported; EXPERIMENTS.md E4 discusses them.
-    let mut rows = Vec::new();
+    let mut plans = Vec::new();
     for n in [3usize, 4, 5] {
         for (p, q) in [(1u64, 2u64), (3, 4)] {
             let rho = Rate::new(p, q);
-            let l_star = emac_core::adjust_window::steady_window_size(n, rho, beta);
-            let r = Runner::new(n)
-                .rate(rho)
-                .beta(beta)
-                .rounds(10 * l_star)
-                .run(&AdjustWindow::new(), Box::new(UniformRandom::new(n as u64)));
-            let paper = bounds::adjust_window_latency_bound(n as u64, rho.as_f64(), beta as f64);
-            rows.push(Comparison::latency(
-                format!(
-                    "Adjust-Window n={n} rho={p}/{q} beta={beta} (L*={l_star}, paper-bound ratio {:.1}x)",
-                    r.latency() as f64 / paper
-                ),
-                &r,
-                2.0 * l_star as f64,
-            ));
+            let l_star = emac_core::adjust_window::steady_window_size(n, rho, BETA);
+            plans.push(
+                Planned::latency(
+                    format!("Adjust-Window n={n} rho={p}/{q} beta={BETA} (L*={l_star})"),
+                    ScenarioSpec::new("adjust-window", "uniform")
+                        .n(n)
+                        .rho(rho)
+                        .beta(BETA)
+                        .rounds(10 * l_star)
+                        .seed(n as u64),
+                    2.0 * l_star as f64,
+                )
+                .with_post(|report, c| {
+                    // also report the ratio to the paper's asymptotic bound
+                    let paper = bounds::adjust_window_latency_bound(
+                        report.n as u64,
+                        report.rho.as_f64(),
+                        2.0,
+                    );
+                    c.label.push_str(&format!(" (paper-bound ratio {:.1}x)", c.measured / paper));
+                }),
+            );
         }
     }
-    all_ok &= print_row(
-        "Row 4  Adjust-Window — latency ≤ 2·L* exactly; ≤ (18n³log²n+2β)/(1−ρ) asymptotically",
-        &rows,
-    );
+    rows.push((
+        "Row 4  Adjust-Window — latency ≤ 2·L* exactly; ≤ (18n³log²n+2β)/(1−ρ) asymptotically"
+            .into(),
+        plans,
+    ));
 
     // ---- Row 5: k-Cycle latency <= (32+beta) n for rho < (k-1)/(n-1) ----
-    let mut rows = Vec::new();
+    let mut plans = Vec::new();
     for (n, k) in [(9usize, 3usize), (13, 4), (16, 5)] {
-        let rho = bounds::k_cycle_rate_threshold(n as u64, k as u64).scaled(4, 5);
-        let r = Runner::new(n)
-            .rate(rho)
-            .beta(beta)
-            .rounds(200_000)
-            .run(&KCycle::new(k), Box::new(UniformRandom::new(7)));
-        rows.push(Comparison::latency(
-            format!("k-Cycle n={n} k={k} rho=0.8(k-1)/(n-1) beta={beta}"),
-            &r,
-            bounds::k_cycle_latency_bound(n as u64, beta as f64),
+        plans.push(Planned::latency(
+            format!("k-Cycle n={n} k={k} rho=0.8(k-1)/(n-1) beta={BETA}"),
+            ScenarioSpec::new("k-cycle", "uniform")
+                .n(n)
+                .k(k)
+                .rho(bounds::k_cycle_rate_threshold(n as u64, k as u64).scaled(4, 5))
+                .beta(BETA)
+                .rounds(200_000)
+                .seed(7),
+            bounds::k_cycle_latency_bound(n as u64, BETA as f64),
         ));
     }
-    all_ok &= print_row("Row 5  k-Cycle — latency ≤ (32+β)n for ρ < (k−1)/(n−1)", &rows);
+    rows.push(("Row 5  k-Cycle — latency ≤ (32+β)n for ρ < (k−1)/(n−1)".into(), plans));
 
     // ---- Row 6: oblivious impossibility above k/n ----
-    let mut rows = Vec::new();
+    let mut plans = Vec::new();
     for (n, k) in [(9usize, 3usize), (13, 4)] {
-        let alg = KCycle::new(k);
-        let p = alg.params(n);
-        let horizon = p.delta() * p.groups() as u64;
-        let rho = bounds::oblivious_rate_threshold(n as u64, k as u64).scaled(6, 5);
-        let r = Runner::new(n).rate(rho).beta(2).rounds(150_000).run_against(&alg, |s| {
-            Box::new(LeastOnStation::new(s.expect("oblivious"), n, horizon))
-        });
-        rows.push(Comparison::slope(
+        let p = KCycle::new(k).params(n);
+        plans.push(Planned::slope(
             format!("k-Cycle n={n} k={k} rho=1.2·k/n least-on flood (must diverge)"),
-            &r,
+            ScenarioSpec::new("k-cycle", "least-on")
+                .n(n)
+                .k(k)
+                .rho(bounds::oblivious_rate_threshold(n as u64, k as u64).scaled(6, 5))
+                .beta(2u64)
+                .rounds(150_000)
+                .horizon(p.delta() * p.groups() as u64),
         ));
     }
-    all_ok &= print_row(
-        "Row 6  Impossibility — no k-oblivious algorithm is stable above k/n (Thm 6)",
-        &rows,
-    );
+    rows.push((
+        "Row 6  Impossibility — no k-oblivious algorithm is stable above k/n (Thm 6)".into(),
+        plans,
+    ));
 
     // ---- Row 7: k-Clique latency at rho <= k^2/(2n(2n-k)) ----
-    let mut rows = Vec::new();
+    let mut plans = Vec::new();
     for (n, k) in [(8u64, 4u64), (12, 4), (12, 6)] {
-        let rho = bounds::k_clique_rate_for_latency(n, k);
-        let r = Runner::new(n as usize)
-            .rate(rho)
-            .beta(beta)
-            .rounds(400_000)
-            .run(&KClique::new(k as usize), Box::new(UniformRandom::new(23)));
-        rows.push(Comparison::latency(
-            format!("k-Clique n={n} k={k} rho=k²/(2n(2n−k)) beta={beta}"),
-            &r,
-            bounds::k_clique_latency_bound(n, k, beta as f64),
+        plans.push(Planned::latency(
+            format!("k-Clique n={n} k={k} rho=k²/(2n(2n−k)) beta={BETA}"),
+            ScenarioSpec::new("k-clique", "uniform")
+                .n(n as usize)
+                .k(k as usize)
+                .rho(bounds::k_clique_rate_for_latency(n, k))
+                .beta(BETA)
+                .rounds(400_000)
+                .seed(23),
+            bounds::k_clique_latency_bound(n, k, BETA as f64),
         ));
     }
-    all_ok &= print_row("Row 7  k-Clique — latency ≤ 8(n²/k)(1+β/2k)", &rows);
+    rows.push(("Row 7  k-Clique — latency ≤ 8(n²/k)(1+β/2k)".into(), plans));
 
     // ---- Row 8: k-Subsets queues at rho = k(k-1)/(n(n-1)) ----
-    let mut rows = Vec::new();
+    let mut plans = Vec::new();
     for (n, k) in [(6u64, 3u64), (8, 3), (10, 4)] {
-        let rho = bounds::k_subsets_rate_threshold(n, k);
-        let r = Runner::new(n as usize)
-            .rate(rho)
-            .beta(beta)
-            .rounds(300_000)
-            .run(&KSubsets::new(k as usize), Box::new(SingleTarget::new(0, n as usize - 1)));
-        rows.push(Comparison::queue(
+        plans.push(Planned::queue(
             format!("k-Subsets n={n} k={k} rho=k(k−1)/(n(n−1)) single-target"),
-            &r,
-            bounds::k_subsets_queue_bound(n, k, beta as f64),
+            ScenarioSpec::new("k-subsets", "single-target")
+                .n(n as usize)
+                .k(k as usize)
+                .rho(bounds::k_subsets_rate_threshold(n, k))
+                .beta(BETA)
+                .rounds(300_000)
+                .flood(0, n as usize - 1),
+            bounds::k_subsets_queue_bound(n, k, BETA as f64),
         ));
     }
-    all_ok &= print_row(
-        "Row 8  k-Subsets — queues ≤ 2·C(n,k)(n²+β) at ρ = k(k−1)/(n(n−1))",
-        &rows,
-    );
+    rows.push(("Row 8  k-Subsets — queues ≤ 2·C(n,k)(n²+β) at ρ = k(k−1)/(n(n−1))".into(), plans));
 
     // ---- Row 9: oblivious direct impossibility above k(k-1)/(n(n-1)) ----
-    let mut rows = Vec::new();
+    let mut plans = Vec::new();
     for (n, k) in [(6usize, 3usize), (8, 4)] {
-        let alg = KSubsets::new(k);
-        let gamma = alg.params(n).gamma() as u64;
         let rho = bounds::k_subsets_rate_threshold(n as u64, k as u64).scaled(3, 2);
-        let r = Runner::new(n).rate(rho).beta(2).rounds(150_000).run_against(&alg, |s| {
-            Box::new(LeastOnPair::new(s.expect("oblivious"), n, gamma))
-        });
-        rows.push(Comparison::slope(
+        let gamma = KSubsets::new(k).params(n).gamma() as u64;
+        plans.push(Planned::slope(
             format!("k-Subsets n={n} k={k} rho=1.5·thr least-pair flood (must diverge)"),
-            &r,
+            ScenarioSpec::new("k-subsets", "least-on-pair")
+                .n(n)
+                .k(k)
+                .rho(rho)
+                .beta(2u64)
+                .rounds(150_000)
+                .horizon(gamma),
         ));
-        let algc = KClique::new(k);
-        let m = algc.params(n).num_pairs() as u64;
-        let r = Runner::new(n).rate(rho).beta(2).rounds(150_000).run_against(&algc, |s| {
-            Box::new(LeastOnPair::new(s.expect("oblivious"), n, m))
-        });
-        rows.push(Comparison::slope(
+        let m = KClique::new(k).params(n).num_pairs() as u64;
+        plans.push(Planned::slope(
             format!("k-Clique n={n} k={k} rho=1.5·thr least-pair flood (must diverge)"),
-            &r,
+            ScenarioSpec::new("k-clique", "least-on-pair")
+                .n(n)
+                .k(k)
+                .rho(rho)
+                .beta(2u64)
+                .rounds(150_000)
+                .horizon(m),
         ));
     }
-    all_ok &= print_row(
-        "Row 9  Impossibility — oblivious direct routing above k(k−1)/(n(n−1)) (Thm 9)",
-        &rows,
-    );
+    rows.push((
+        "Row 9  Impossibility — oblivious direct routing above k(k−1)/(n(n−1)) (Thm 9)".into(),
+        plans,
+    ));
 
+    let all_ok = execute_rows(rows);
     println!(
         "\n==> {}",
         if all_ok {

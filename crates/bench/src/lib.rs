@@ -1,13 +1,20 @@
 //! # emac-bench — the Table-1 reproduction harness
 //!
 //! Shared helpers for the experiment binaries (`table1`, `figures`,
-//! `impossibility`, `ablations`) and the Criterion benches. Each Table-1
-//! row gets a comparison of a measured quantity against the paper's bound;
-//! the binaries print the rows and EXPERIMENTS.md records them.
+//! `impossibility`, `ablations`) and the throughput benches. A binary
+//! *declares* its sweep as a list of [`Planned`] comparisons (scenario spec
+//! plus how to score the report against the paper's bound), then
+//! [`execute_rows`] runs everything through one parallel
+//! [`emac_core::campaign::Campaign`] over the shared
+//! [`emac::registry::Registry`] — no binary hand-rolls a serial sweep loop.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod timing;
+
+use emac::registry::Registry;
+use emac_core::campaign::{Campaign, ScenarioSpec};
 use emac_core::RunReport;
 
 /// One measured-vs-bound comparison line.
@@ -91,6 +98,100 @@ impl Comparison {
             if self.clean { "clean" } else { "VIOLATIONS" },
         )
     }
+}
+
+/// How a planned run's report is scored into a [`Comparison`].
+#[derive(Clone, Copy, Debug)]
+pub enum Score {
+    /// Compare maximum packet delay against a bound.
+    Latency(f64),
+    /// Compare maximum total queue against a bound.
+    Queue(f64),
+    /// Report the queue-growth slope (impossibility rows; no bound).
+    Slope,
+}
+
+/// One planned experiment: what to run and how to score it.
+pub struct Planned {
+    /// Row label (the `Comparison` label).
+    pub label: String,
+    /// Scoring rule.
+    pub score: Score,
+    /// The scenario to execute.
+    pub spec: ScenarioSpec,
+    /// Optional touch-up applied after scoring (relabelling with measured
+    /// values, tolerating a baseline's expected violations, ...).
+    pub post: Option<fn(&RunReport, &mut Comparison)>,
+}
+
+impl Planned {
+    /// Plan a latency-vs-bound comparison.
+    pub fn latency(label: impl Into<String>, spec: ScenarioSpec, bound: f64) -> Self {
+        Self { label: label.into(), score: Score::Latency(bound), spec, post: None }
+    }
+
+    /// Plan a queue-vs-bound comparison.
+    pub fn queue(label: impl Into<String>, spec: ScenarioSpec, bound: f64) -> Self {
+        Self { label: label.into(), score: Score::Queue(bound), spec, post: None }
+    }
+
+    /// Plan a slope report.
+    pub fn slope(label: impl Into<String>, spec: ScenarioSpec) -> Self {
+        Self { label: label.into(), score: Score::Slope, spec, post: None }
+    }
+
+    /// Attach a post-scoring touch-up.
+    pub fn with_post(mut self, post: fn(&RunReport, &mut Comparison)) -> Self {
+        self.post = Some(post);
+        self
+    }
+
+    /// Score a finished report.
+    pub fn comparison(&self, report: &RunReport) -> Comparison {
+        let mut c = match self.score {
+            Score::Latency(bound) => Comparison::latency(self.label.clone(), report, bound),
+            Score::Queue(bound) => Comparison::queue(self.label.clone(), report, bound),
+            Score::Slope => Comparison::slope(self.label.clone(), report),
+        };
+        if let Some(post) = self.post {
+            post(report, &mut c);
+        }
+        c
+    }
+}
+
+/// Run every spec in parallel through the shared registry and return the
+/// reports in spec order. Bench sweeps are statically known-good, so a
+/// scenario error (an impossible name, say) aborts with a message.
+pub fn run_all(specs: &[ScenarioSpec]) -> Vec<RunReport> {
+    let result = Campaign::new().run(specs, &Registry);
+    result
+        .runs
+        .into_iter()
+        .map(|run| match run.outcome {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("scenario {} failed: {e}", run.spec.display_label());
+                std::process::exit(2);
+            }
+        })
+        .collect()
+}
+
+/// Execute titled rows of plans through **one** campaign, print each row,
+/// and return whether every comparison was clean and within bound.
+pub fn execute_rows(rows: Vec<(String, Vec<Planned>)>) -> bool {
+    let flat: Vec<&Planned> = rows.iter().flat_map(|(_, plans)| plans).collect();
+    let specs: Vec<ScenarioSpec> = flat.iter().map(|p| p.spec.clone()).collect();
+    let reports = run_all(&specs);
+    let mut scored = flat.iter().zip(&reports).map(|(p, r)| p.comparison(r));
+    let mut all_ok = true;
+    for (title, plans) in &rows {
+        let comparisons: Vec<Comparison> =
+            plans.iter().map(|_| scored.next().expect("one report per plan")).collect();
+        all_ok &= print_row(title, &comparisons);
+    }
+    all_ok
 }
 
 /// Print a row header followed by its comparisons; returns whether all

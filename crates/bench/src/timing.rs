@@ -1,0 +1,56 @@
+//! A tiny wall-clock benchmarking harness.
+//!
+//! The throughput benches under `benches/` historically used Criterion;
+//! this repository builds hermetically (no crates.io), so they run on this
+//! std-only harness instead: warm up once, time `EMAC_BENCH_ITERS`
+//! iterations (default 3), report min/median/mean. Registered with
+//! `harness = false`, so `cargo bench -p emac-bench` runs them directly.
+
+use std::time::{Duration, Instant};
+
+/// Number of timed iterations, from `EMAC_BENCH_ITERS` (default 3).
+pub fn iterations() -> u32 {
+    std::env::var("EMAC_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(3)
+}
+
+/// Time `f` and print one result line. `work_items` scales the per-item
+/// throughput column (e.g. simulated rounds per call); pass 0 to omit it.
+pub fn bench(name: &str, work_items: u64, mut f: impl FnMut()) {
+    f(); // warm-up, untimed
+    let iters = iterations();
+    let mut times: Vec<Duration> = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let start = Instant::now();
+        f();
+        times.push(start.elapsed());
+    }
+    times.sort_unstable();
+    let median = times[times.len() / 2];
+    let mean = times.iter().sum::<Duration>() / iters;
+    let mut line = format!(
+        "{name:<36} min {:>10.3?}  median {:>10.3?}  mean {:>10.3?}  x{iters}",
+        times[0], median, mean
+    );
+    if work_items > 0 {
+        let per = median.as_nanos() as f64 / work_items as f64;
+        line.push_str(&format!("  ({per:.0} ns/item)"));
+    }
+    println!("{line}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_the_closure() {
+        let mut calls = 0u32;
+        bench("noop", 10, || calls += 1);
+        // 1 warm-up + `iterations()` timed runs
+        assert_eq!(calls, 1 + iterations());
+    }
+}

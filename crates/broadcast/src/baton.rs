@@ -94,7 +94,7 @@ mod tests {
         b.season_end(true); // 2 announces big
         assert_eq!(b.order(), &[2, 0, 1, 3]);
         assert_eq!(b.conductor(), 2); // keeps the baton
-        // positions of stations before it shifted back by one
+                                      // positions of stations before it shifted back by one
         assert_eq!(b.position_of(0), Some(1));
         assert_eq!(b.position_of(1), Some(2));
     }

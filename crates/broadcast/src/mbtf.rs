@@ -16,8 +16,8 @@
 //! can contain, which is what makes rate 1 survivable.
 
 use emac_sim::{
-    Action, AlgorithmClass, BuiltAlgorithm, ControlBits, Effects, Feedback, IndexedQueue,
-    Message, Protocol, ProtocolCtx, StationId, Wake, WakeMode,
+    Action, AlgorithmClass, BuiltAlgorithm, ControlBits, Effects, Feedback, IndexedQueue, Message,
+    Protocol, ProtocolCtx, StationId, Wake, WakeMode,
 };
 
 use crate::baton::BatonList;
@@ -146,9 +146,8 @@ mod tests {
         // Orchestra-style bound 2n^3 + beta.
         let n = 4;
         let beta = 2;
-        let cfg = SimConfig::new(n, n)
-            .adversary_type(Rate::one(), Rate::integer(beta))
-            .sample_every(64);
+        let cfg =
+            SimConfig::new(n, n).adversary_type(Rate::one(), Rate::integer(beta)).sample_every(64);
         let adv = Box::new(SingleTarget::new(0, 3));
         let mut sim = Simulator::new(cfg, build_mbtf(n), adv);
         sim.run(60_000);
@@ -167,9 +166,8 @@ mod tests {
     fn stable_at_rate_one_spread_load() {
         let n = 4;
         let beta = 2;
-        let cfg = SimConfig::new(n, n)
-            .adversary_type(Rate::one(), Rate::integer(beta))
-            .sample_every(64);
+        let cfg =
+            SimConfig::new(n, n).adversary_type(Rate::one(), Rate::integer(beta)).sample_every(64);
         let adv = Box::new(RoundRobinLoad::new());
         let mut sim = Simulator::new(cfg, build_mbtf(n), adv);
         sim.run(60_000);

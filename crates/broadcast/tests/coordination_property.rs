@@ -1,78 +1,87 @@
 //! Property tests for the replicated coordination state machines: the
 //! baton list and the token ring must behave identically across replicas
 //! fed the same observations, and the baton list must remain a permutation
-//! with the move-big-to-front dynamics the proofs rely on.
+//! with the move-big-to-front dynamics the proofs rely on. Sampled
+//! deterministically with the workspace PRNG.
 
 use emac_broadcast::{BatonList, TokenRing};
-use proptest::prelude::*;
+use emac_sim::SmallRng;
 
-proptest! {
-    /// The baton list is always a permutation of the stations, the
-    /// conductor is always a member, and replicas stay in lockstep.
-    #[test]
-    fn baton_list_stays_a_permutation(
-        n in 1usize..12,
-        bigs in proptest::collection::vec(any::<bool>(), 0..200),
-    ) {
+/// The baton list is always a permutation of the stations, the
+/// conductor is always a member, and replicas stay in lockstep.
+#[test]
+fn baton_list_stays_a_permutation() {
+    let mut rng = SmallRng::seed_from_u64(0xba70);
+    for _case in 0..48 {
+        let n = rng.random_range(1..12);
+        let seasons = rng.random_range(0..200);
         let mut a = BatonList::new(n);
         let mut b = BatonList::new(n);
-        for &big in &bigs {
+        for _ in 0..seasons {
+            let big = rng.random_bool();
             a.season_end(big);
             b.season_end(big);
-            prop_assert_eq!(&a, &b, "replicas diverged");
+            assert_eq!(&a, &b, "replicas diverged");
             // permutation check
             let mut sorted = a.order().to_vec();
             sorted.sort_unstable();
-            prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+            assert_eq!(sorted, (0..n).collect::<Vec<_>>());
             // conductor is at its own position
             let c = a.conductor();
-            prop_assert_eq!(a.order()[a.position_of(c).unwrap()], c);
+            assert_eq!(a.order()[a.position_of(c).unwrap()], c);
         }
     }
+}
 
-    /// Without bigness the baton visits every station once per n seasons.
-    #[test]
-    fn baton_round_robins_without_bigness(n in 1usize..10) {
+/// Without bigness the baton visits every station once per n seasons.
+#[test]
+fn baton_round_robins_without_bigness() {
+    for n in 1usize..10 {
         let mut b = BatonList::new(n);
         let mut seen = vec![0usize; n];
         for _ in 0..2 * n {
             seen[b.conductor()] += 1;
             b.season_end(false);
         }
-        prop_assert!(seen.iter().all(|&c| c == 2));
+        assert!(seen.iter().all(|&c| c == 2), "n={n}");
     }
+}
 
-    /// A big conductor keeps the baton; a station's position can only be
-    /// pushed back by move-to-fronts of others, never beyond position n-1.
-    #[test]
-    fn big_conductor_keeps_baton(
-        n in 2usize..10,
-        seasons in proptest::collection::vec(any::<bool>(), 1..100),
-    ) {
+/// A big conductor keeps the baton; a station's position can only be
+/// pushed back by move-to-fronts of others, never beyond position n-1.
+#[test]
+fn big_conductor_keeps_baton() {
+    let mut rng = SmallRng::seed_from_u64(0xba71);
+    for _case in 0..48 {
+        let n = rng.random_range(2..10);
+        let seasons = rng.random_range(1..100);
         let mut b = BatonList::new(n);
-        for &big in &seasons {
+        for _ in 0..seasons {
+            let big = rng.random_bool();
             let before = b.conductor();
             b.season_end(big);
             if big {
-                prop_assert_eq!(b.conductor(), before, "big conductor must keep the baton");
-                prop_assert_eq!(b.position_of(before), Some(0), "and sit at the front");
+                assert_eq!(b.conductor(), before, "big conductor must keep the baton");
+                assert_eq!(b.position_of(before), Some(0), "and sit at the front");
             }
-            prop_assert!(b.position_of(b.conductor()).unwrap() < n);
+            assert!(b.position_of(b.conductor()).unwrap() < n);
         }
     }
+}
 
-    /// Token replicas advance identically and lap counting is consistent
-    /// with the number of advances.
-    #[test]
-    fn token_ring_laps_count_advances(
-        size in 1usize..16,
-        advances in 0usize..500,
-    ) {
+/// Token replicas advance identically and lap counting is consistent
+/// with the number of advances.
+#[test]
+fn token_ring_laps_count_advances() {
+    let mut rng = SmallRng::seed_from_u64(0xba72);
+    for _case in 0..64 {
+        let size = rng.random_range(1..16);
+        let advances = rng.random_range(0..500);
         let mut t = TokenRing::new(size);
         for _ in 0..advances {
             t.advance();
         }
-        prop_assert_eq!(t.laps() as usize, advances / size);
-        prop_assert_eq!(t.pos(), advances % size);
+        assert_eq!(t.laps() as usize, advances / size);
+        assert_eq!(t.pos(), advances % size);
     }
 }

@@ -134,10 +134,10 @@ impl AdjustWindowStation {
     /// Advance the window state machine up to the window containing `r`.
     fn ensure_window(&mut self, r: Round) {
         while r >= self.win.end() {
-            let double = self.plan.as_ref().map_or_else(
-                || self.compute_plan().double_next,
-                |p| p.double_next,
-            );
+            let double = self
+                .plan
+                .as_ref()
+                .map_or_else(|| self.compute_plan().double_next, |p| p.double_next);
             self.win = self.win.next(self.n, double);
             self.snap = None;
             self.rx = GossipRx::new(self.n);
@@ -419,7 +419,10 @@ impl AdjustWindowStation {
         let mut from = r + 1;
         loop {
             self.ensure_window(from);
-            if self.snap.is_none() && from >= self.win.w0 && from < self.win.end() && r >= self.win.w0
+            if self.snap.is_none()
+                && from >= self.win.w0
+                && from < self.win.end()
+                && r >= self.win.w0
             {
                 // crossing stages within a known window is fine; snapshots of
                 // future windows are built when their first round arrives

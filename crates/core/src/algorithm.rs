@@ -8,7 +8,11 @@ use emac_sim::{AlgorithmClass, BuiltAlgorithm};
 ///
 /// Algorithms know `n` and the energy cap but never the adversary's type
 /// `(ρ, β)` (paper §2, "Knowledge").
-pub trait Algorithm {
+///
+/// An `Algorithm` value is a small immutable description (name plus
+/// parameters), so it is `Send + Sync`: campaign executors share one
+/// instance across worker threads and call [`Algorithm::build`] per run.
+pub trait Algorithm: Send + Sync {
     /// Display name, including parameters (e.g. `k-Cycle(n=12, k=4)`).
     fn name(&self) -> String;
 
@@ -25,7 +29,9 @@ pub trait Algorithm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use emac_sim::{Action, Effects, Feedback, IndexedQueue, Protocol, ProtocolCtx, Wake, WakeMode};
+    use emac_sim::{
+        Action, Effects, Feedback, IndexedQueue, Protocol, ProtocolCtx, Wake, WakeMode,
+    };
 
     struct Idle;
     impl Protocol for Idle {

@@ -17,11 +17,11 @@
 //! the `ablations` binary, section B0). Do not use this as a routing
 //! algorithm.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use emac_sim::{
-    Action, AlgorithmClass, BuiltAlgorithm, Effects, Feedback, IndexedQueue, Message,
-    OnSchedule, Protocol, ProtocolCtx, Round, StationId, Wake, WakeMode,
+    Action, AlgorithmClass, BuiltAlgorithm, Effects, Feedback, IndexedQueue, Message, OnSchedule,
+    Protocol, ProtocolCtx, Round, StationId, Wake, WakeMode,
 };
 
 use crate::algorithm::Algorithm;
@@ -140,8 +140,8 @@ impl Algorithm for DutyCycle {
     }
 
     fn build(&self, n: usize) -> BuiltAlgorithm {
-        let schedule: Rc<dyn OnSchedule> =
-            Rc::new(RandomOnSchedule::new(n, self.k.min(n), self.seed));
+        let schedule: Arc<dyn OnSchedule> =
+            Arc::new(RandomOnSchedule::new(n, self.k.min(n), self.seed));
         BuiltAlgorithm {
             name: format!("{}(n={n})", self.name()),
             protocols: (0..n)

@@ -1,0 +1,1021 @@
+//! Experiment campaigns: declarative scenario grids executed in parallel.
+//!
+//! The paper's evaluation — Table 1, the figure series, the impossibility
+//! demonstrations — is entirely *sweeps*: the same run repeated across
+//! algorithms, system sizes `n`, energy caps `k`, rates `ρ`, burstiness
+//! `β`, and adversaries. This module turns a sweep into data:
+//!
+//! * [`ScenarioSpec`] — one run, fully described by plain serializable
+//!   values (algorithm and adversary by *name*; a [`ScenarioFactory`]
+//!   turns names into objects, so the spec stays JSON-round-trippable);
+//! * [`Grid`] — a cartesian parameter grid that expands into scenario
+//!   lists;
+//! * [`Campaign`] — a worker-pool executor (`std::thread::scope`) that
+//!   runs scenarios in parallel and collects [`RunReport`]s into a
+//!   [`CampaignResult`] with JSON and CSV export.
+//!
+//! Results are returned in spec order regardless of scheduling, and every
+//! component of a run is deterministic in the spec (seeded adversaries,
+//! deterministic algorithms), so a parallel campaign is byte-identical to
+//! the same scenarios run serially — `crates/core/tests/campaign.rs`
+//! asserts exactly that.
+//!
+//! ```
+//! use emac_core::campaign::{Campaign, Grid, ScenarioFactory, ScenarioSpec};
+//! use emac_core::{Algorithm, CountHop};
+//! use emac_sim::{Adversary, NoInjections, OnSchedule, Rate};
+//! use std::sync::Arc;
+//!
+//! struct Idle;
+//! impl ScenarioFactory for Idle {
+//!     fn algorithm(&self, _s: &ScenarioSpec) -> Result<Box<dyn Algorithm>, String> {
+//!         Ok(Box::new(CountHop::new()))
+//!     }
+//!     fn adversary(
+//!         &self,
+//!         _s: &ScenarioSpec,
+//!         _schedule: Option<&Arc<dyn OnSchedule>>,
+//!     ) -> Result<Box<dyn Adversary>, String> {
+//!         Ok(Box::new(NoInjections))
+//!     }
+//! }
+//!
+//! let specs = Grid::new("count-hop", "none")
+//!     .ns([4, 6])
+//!     .rhos([Rate::new(1, 2)])
+//!     .rounds(2_000)
+//!     .expand();
+//! let result = Campaign::new().threads(2).run(&specs, &Idle);
+//! assert_eq!(result.runs.len(), 2);
+//! assert!(result.all_clean());
+//! ```
+
+pub mod json;
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use emac_sim::{Adversary, OnSchedule, Rate};
+
+use crate::algorithm::Algorithm;
+use crate::runner::{RunReport, Runner};
+use json::Json;
+
+/// One fully-described experiment run.
+///
+/// Algorithms and adversaries are referenced by registry *name* so a spec
+/// is plain data: it serializes to one JSON object and back without loss.
+/// The auxiliary fields (`target`, `dest`, `period`, `horizon`) parameterize
+/// the adversary families that need them and are ignored by the others.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioSpec {
+    /// Optional display label (defaults to a canonical rendering).
+    pub label: Option<String>,
+    /// Algorithm registry name (e.g. `"k-cycle"`).
+    pub algorithm: String,
+    /// Adversary registry name (e.g. `"uniform"`).
+    pub adversary: String,
+    /// System size.
+    pub n: usize,
+    /// Energy-cap parameter for the k-algorithms.
+    pub k: usize,
+    /// Injection rate ρ.
+    pub rho: Rate,
+    /// Burstiness β (a general rational, like the paper's β).
+    pub beta: Rate,
+    /// Rounds to simulate.
+    pub rounds: u64,
+    /// Optional drain budget after the main run.
+    pub drain: Option<u64>,
+    /// Optional energy-cap override.
+    pub cap: Option<usize>,
+    /// Adversary seed.
+    pub seed: u64,
+    /// Injection station for targeted adversaries.
+    pub target: Option<usize>,
+    /// Destination station for targeted adversaries.
+    pub dest: Option<usize>,
+    /// Burst period for periodic adversaries.
+    pub period: Option<u64>,
+    /// Schedule-analysis horizon for the attack adversaries
+    /// (`least-on`, `least-on-pair`).
+    pub horizon: Option<u64>,
+}
+
+impl ScenarioSpec {
+    /// A spec with the workspace defaults: `n = 8`, `k = 3`, `ρ = 1/2`,
+    /// `β = 1`, 100 000 rounds, seed 42, no drain.
+    pub fn new(algorithm: impl Into<String>, adversary: impl Into<String>) -> Self {
+        Self {
+            label: None,
+            algorithm: algorithm.into(),
+            adversary: adversary.into(),
+            n: 8,
+            k: 3,
+            rho: Rate::new(1, 2),
+            beta: Rate::integer(1),
+            rounds: 100_000,
+            drain: None,
+            cap: None,
+            seed: 42,
+            target: None,
+            dest: None,
+            period: None,
+            horizon: None,
+        }
+    }
+
+    /// Set the system size.
+    pub fn n(mut self, n: usize) -> Self {
+        self.n = n;
+        self
+    }
+
+    /// Set the cap parameter for the k-algorithms.
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Set the injection rate ρ.
+    pub fn rho(mut self, rho: Rate) -> Self {
+        self.rho = rho;
+        self
+    }
+
+    /// Set the burstiness β.
+    pub fn beta(mut self, beta: impl Into<Rate>) -> Self {
+        self.beta = beta.into();
+        self
+    }
+
+    /// Set the round count.
+    pub fn rounds(mut self, rounds: u64) -> Self {
+        self.rounds = rounds;
+        self
+    }
+
+    /// Set the adversary seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the drain budget.
+    pub fn drain(mut self, drain: u64) -> Self {
+        self.drain = Some(drain);
+        self
+    }
+
+    /// Override the energy cap.
+    pub fn cap(mut self, cap: usize) -> Self {
+        self.cap = Some(cap);
+        self
+    }
+
+    /// Set the injection station and destination for targeted adversaries.
+    pub fn flood(mut self, target: usize, dest: usize) -> Self {
+        self.target = Some(target);
+        self.dest = Some(dest);
+        self
+    }
+
+    /// Set the injection station for targeted adversaries.
+    pub fn target(mut self, target: usize) -> Self {
+        self.target = Some(target);
+        self
+    }
+
+    /// Set the burst period for periodic adversaries.
+    pub fn period(mut self, period: u64) -> Self {
+        self.period = Some(period);
+        self
+    }
+
+    /// Set the schedule-analysis horizon for the attack adversaries.
+    pub fn horizon(mut self, horizon: u64) -> Self {
+        self.horizon = Some(horizon);
+        self
+    }
+
+    /// Set the display label.
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// The display label: the explicit one if set, otherwise a canonical
+    /// `alg vs adv | n=.. k=.. rho=.. beta=..` rendering.
+    pub fn display_label(&self) -> String {
+        match &self.label {
+            Some(l) => l.clone(),
+            None => format!(
+                "{} vs {} | n={} k={} rho={} beta={}",
+                self.algorithm,
+                self.adversary,
+                self.n,
+                self.k,
+                rate_str(self.rho),
+                rate_str(self.beta)
+            ),
+        }
+    }
+
+    /// Sanity-check ranges before spending simulation time.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n < 2 {
+            return Err(format!("{}: n must be at least 2", self.display_label()));
+        }
+        if self.rounds == 0 {
+            return Err(format!("{}: rounds must be positive", self.display_label()));
+        }
+        if Rate::one().lt(&self.rho) {
+            return Err(format!("{}: rho exceeds 1", self.display_label()));
+        }
+        if self.algorithm.is_empty() || self.adversary.is_empty() {
+            return Err("algorithm and adversary names must be non-empty".into());
+        }
+        Ok(())
+    }
+
+    /// Serialize to a JSON object. Optional fields are omitted when unset.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Vec::new();
+        if let Some(label) = &self.label {
+            obj.push(("label".into(), Json::Str(label.clone())));
+        }
+        obj.push(("algorithm".into(), Json::Str(self.algorithm.clone())));
+        obj.push(("adversary".into(), Json::Str(self.adversary.clone())));
+        obj.push(("n".into(), Json::Int(self.n as i64)));
+        obj.push(("k".into(), Json::Int(self.k as i64)));
+        obj.push(("rho".into(), Json::Str(rate_str(self.rho))));
+        obj.push(("beta".into(), Json::Str(rate_str(self.beta))));
+        obj.push(("rounds".into(), json_u64(self.rounds)));
+        if let Some(d) = self.drain {
+            obj.push(("drain".into(), json_u64(d)));
+        }
+        if let Some(c) = self.cap {
+            obj.push(("cap".into(), Json::Int(c as i64)));
+        }
+        obj.push(("seed".into(), json_u64(self.seed)));
+        if let Some(t) = self.target {
+            obj.push(("target".into(), Json::Int(t as i64)));
+        }
+        if let Some(d) = self.dest {
+            obj.push(("dest".into(), Json::Int(d as i64)));
+        }
+        if let Some(p) = self.period {
+            obj.push(("period".into(), json_u64(p)));
+        }
+        if let Some(h) = self.horizon {
+            obj.push(("horizon".into(), json_u64(h)));
+        }
+        Json::Obj(obj)
+    }
+
+    /// Deserialize from a JSON object produced by [`ScenarioSpec::to_json`]
+    /// or written by hand; unknown keys are rejected to catch typos.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let Json::Obj(members) = v else {
+            return Err("scenario must be a JSON object".into());
+        };
+        let mut spec = ScenarioSpec::new("", "");
+        for (key, value) in members {
+            match key.as_str() {
+                "label" => spec.label = Some(req_str(value, key)?),
+                "algorithm" => spec.algorithm = req_str(value, key)?,
+                "adversary" => spec.adversary = req_str(value, key)?,
+                "n" => spec.n = req_usize(value, key)?,
+                "k" => spec.k = req_usize(value, key)?,
+                "rho" => spec.rho = rate_from_json(value).map_err(|e| format!("rho: {e}"))?,
+                "beta" => spec.beta = rate_from_json(value).map_err(|e| format!("beta: {e}"))?,
+                "rounds" => spec.rounds = req_u64(value, key)?,
+                "drain" => spec.drain = Some(req_u64(value, key)?),
+                "cap" => spec.cap = Some(req_usize(value, key)?),
+                "seed" => spec.seed = req_u64(value, key)?,
+                "target" => spec.target = Some(req_usize(value, key)?),
+                "dest" => spec.dest = Some(req_usize(value, key)?),
+                "period" => spec.period = Some(req_u64(value, key)?),
+                "horizon" => spec.horizon = Some(req_u64(value, key)?),
+                other => return Err(format!("unknown scenario key {other:?}")),
+            }
+        }
+        if spec.algorithm.is_empty() {
+            return Err("scenario is missing \"algorithm\"".into());
+        }
+        if spec.adversary.is_empty() {
+            return Err("scenario is missing \"adversary\"".into());
+        }
+        Ok(spec)
+    }
+}
+
+fn rate_str(r: Rate) -> String {
+    if r.den() == 1 {
+        format!("{}", r.num())
+    } else {
+        format!("{}/{}", r.num(), r.den())
+    }
+}
+
+/// A rate in JSON: `"p/q"`, `"0.25"`, or a bare integer/float number.
+fn rate_from_json(v: &Json) -> Result<Rate, String> {
+    match v {
+        Json::Str(s) => s.parse(),
+        Json::Int(i) if *i >= 0 => Ok(Rate::integer(*i as u64)),
+        Json::Float(f) if *f >= 0.0 && f.is_finite() => {
+            Ok(Rate::new((*f * 10_000.0).round() as u64, 10_000))
+        }
+        other => Err(format!("expected a rate, got {other:?}")),
+    }
+}
+
+fn req_str(v: &Json, key: &str) -> Result<String, String> {
+    v.as_str().map(String::from).ok_or_else(|| format!("{key} must be a string"))
+}
+
+/// A `u64` as JSON: an integer when it fits in `i64` (this JSON layer's
+/// integer type), a decimal string beyond that, so `u64::MAX` seeds
+/// round-trip losslessly.
+fn json_u64(v: u64) -> Json {
+    match i64::try_from(v) {
+        Ok(i) => Json::Int(i),
+        Err(_) => Json::Str(v.to_string()),
+    }
+}
+
+fn req_u64(v: &Json, key: &str) -> Result<u64, String> {
+    match v {
+        Json::Str(s) => s.parse().ok(),
+        other => other.as_u64(),
+    }
+    .ok_or_else(|| format!("{key} must be a non-negative integer"))
+}
+
+fn req_usize(v: &Json, key: &str) -> Result<usize, String> {
+    v.as_usize().ok_or_else(|| format!("{key} must be a non-negative integer"))
+}
+
+/// A cartesian parameter grid: every combination of the axes becomes one
+/// [`ScenarioSpec`]. Axes default to a single element taken from
+/// [`ScenarioSpec::new`]'s defaults, so a `Grid` is also a convenient
+/// builder for a single scenario.
+#[derive(Clone, Debug)]
+pub struct Grid {
+    /// Algorithm-name axis.
+    pub algorithms: Vec<String>,
+    /// Adversary-name axis.
+    pub adversaries: Vec<String>,
+    /// System-size axis.
+    pub ns: Vec<usize>,
+    /// Cap-parameter axis.
+    pub ks: Vec<usize>,
+    /// Rate axis.
+    pub rhos: Vec<Rate>,
+    /// Burstiness axis.
+    pub betas: Vec<Rate>,
+    /// Seed axis.
+    pub seeds: Vec<u64>,
+    /// Scalar applied to every expanded spec.
+    pub rounds: u64,
+    /// Scalar drain budget.
+    pub drain: Option<u64>,
+    /// Scalar cap override.
+    pub cap: Option<usize>,
+    /// Scalar adversary target.
+    pub target: Option<usize>,
+    /// Scalar adversary destination.
+    pub dest: Option<usize>,
+    /// Scalar burst period.
+    pub period: Option<u64>,
+    /// Scalar schedule horizon.
+    pub horizon: Option<u64>,
+}
+
+impl Grid {
+    /// A grid over one algorithm and one adversary; widen axes from there.
+    pub fn new(algorithm: impl Into<String>, adversary: impl Into<String>) -> Self {
+        let d = ScenarioSpec::new("", "");
+        Self {
+            algorithms: vec![algorithm.into()],
+            adversaries: vec![adversary.into()],
+            ns: vec![d.n],
+            ks: vec![d.k],
+            rhos: vec![d.rho],
+            betas: vec![d.beta],
+            seeds: vec![d.seed],
+            rounds: d.rounds,
+            drain: None,
+            cap: None,
+            target: None,
+            dest: None,
+            period: None,
+            horizon: None,
+        }
+    }
+
+    /// Replace the algorithm axis.
+    pub fn algorithms<S: Into<String>>(mut self, axis: impl IntoIterator<Item = S>) -> Self {
+        self.algorithms = axis.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Replace the adversary axis.
+    pub fn adversaries<S: Into<String>>(mut self, axis: impl IntoIterator<Item = S>) -> Self {
+        self.adversaries = axis.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Replace the system-size axis.
+    pub fn ns(mut self, axis: impl IntoIterator<Item = usize>) -> Self {
+        self.ns = axis.into_iter().collect();
+        self
+    }
+
+    /// Replace the cap-parameter axis.
+    pub fn ks(mut self, axis: impl IntoIterator<Item = usize>) -> Self {
+        self.ks = axis.into_iter().collect();
+        self
+    }
+
+    /// Replace the rate axis.
+    pub fn rhos(mut self, axis: impl IntoIterator<Item = Rate>) -> Self {
+        self.rhos = axis.into_iter().collect();
+        self
+    }
+
+    /// Replace the burstiness axis.
+    pub fn betas(mut self, axis: impl IntoIterator<Item = Rate>) -> Self {
+        self.betas = axis.into_iter().collect();
+        self
+    }
+
+    /// Replace the seed axis.
+    pub fn seeds(mut self, axis: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = axis.into_iter().collect();
+        self
+    }
+
+    /// Set the round count applied to every spec.
+    pub fn rounds(mut self, rounds: u64) -> Self {
+        self.rounds = rounds;
+        self
+    }
+
+    /// Set the drain budget applied to every spec.
+    pub fn drain(mut self, drain: u64) -> Self {
+        self.drain = Some(drain);
+        self
+    }
+
+    /// Set the cap override applied to every spec.
+    pub fn cap(mut self, cap: usize) -> Self {
+        self.cap = Some(cap);
+        self
+    }
+
+    /// Set the adversary target applied to every spec.
+    pub fn target(mut self, target: usize) -> Self {
+        self.target = Some(target);
+        self
+    }
+
+    /// Set the adversary destination applied to every spec.
+    pub fn dest(mut self, dest: usize) -> Self {
+        self.dest = Some(dest);
+        self
+    }
+
+    /// Set the burst period applied to every spec.
+    pub fn period(mut self, period: u64) -> Self {
+        self.period = Some(period);
+        self
+    }
+
+    /// Set the schedule horizon applied to every spec.
+    pub fn horizon(mut self, horizon: u64) -> Self {
+        self.horizon = Some(horizon);
+        self
+    }
+
+    /// Number of scenarios [`Grid::expand`] will produce.
+    pub fn cardinality(&self) -> usize {
+        self.algorithms.len()
+            * self.adversaries.len()
+            * self.ns.len()
+            * self.ks.len()
+            * self.rhos.len()
+            * self.betas.len()
+            * self.seeds.len()
+    }
+
+    /// Expand the cartesian product in a fixed nesting order
+    /// (algorithm → adversary → n → k → ρ → β → seed).
+    pub fn expand(&self) -> Vec<ScenarioSpec> {
+        let mut specs = Vec::with_capacity(self.cardinality());
+        for alg in &self.algorithms {
+            for adv in &self.adversaries {
+                for &n in &self.ns {
+                    for &k in &self.ks {
+                        for &rho in &self.rhos {
+                            for &beta in &self.betas {
+                                for &seed in &self.seeds {
+                                    let mut s = ScenarioSpec::new(alg.clone(), adv.clone());
+                                    s.n = n;
+                                    s.k = k;
+                                    s.rho = rho;
+                                    s.beta = beta;
+                                    s.seed = seed;
+                                    s.rounds = self.rounds;
+                                    s.drain = self.drain;
+                                    s.cap = self.cap;
+                                    s.target = self.target;
+                                    s.dest = self.dest;
+                                    s.period = self.period;
+                                    s.horizon = self.horizon;
+                                    specs.push(s);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        specs
+    }
+
+    /// Parse a grid from its JSON form: axes are arrays (or scalars, read
+    /// as one-element axes), scalars are plain values.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let Json::Obj(members) = v else {
+            return Err("grid must be a JSON object".into());
+        };
+        let mut grid = Grid::new("", "");
+        let mut saw_alg = false;
+        let mut saw_adv = false;
+        for (key, value) in members {
+            match key.as_str() {
+                "algorithms" | "algorithm" => {
+                    grid.algorithms = axis(value, |j| req_str(j, key))?;
+                    saw_alg = true;
+                }
+                "adversaries" | "adversary" => {
+                    grid.adversaries = axis(value, |j| req_str(j, key))?;
+                    saw_adv = true;
+                }
+                "n" => grid.ns = axis(value, |j| req_usize(j, key))?,
+                "k" => grid.ks = axis(value, |j| req_usize(j, key))?,
+                "rho" => grid.rhos = axis(value, rate_from_json)?,
+                "beta" => grid.betas = axis(value, rate_from_json)?,
+                "seed" | "seeds" => grid.seeds = axis(value, |j| req_u64(j, key))?,
+                "rounds" => grid.rounds = req_u64(value, key)?,
+                "drain" => grid.drain = Some(req_u64(value, key)?),
+                "cap" => grid.cap = Some(req_usize(value, key)?),
+                "target" => grid.target = Some(req_usize(value, key)?),
+                "dest" => grid.dest = Some(req_usize(value, key)?),
+                "period" => grid.period = Some(req_u64(value, key)?),
+                "horizon" => grid.horizon = Some(req_u64(value, key)?),
+                other => return Err(format!("unknown grid key {other:?}")),
+            }
+        }
+        if !saw_alg || !saw_adv {
+            return Err("grid needs \"algorithms\" and \"adversaries\"".into());
+        }
+        for ax in [
+            grid.algorithms.is_empty(),
+            grid.adversaries.is_empty(),
+            grid.ns.is_empty(),
+            grid.ks.is_empty(),
+            grid.rhos.is_empty(),
+            grid.betas.is_empty(),
+            grid.seeds.is_empty(),
+        ] {
+            if ax {
+                return Err("grid axes must be non-empty".into());
+            }
+        }
+        Ok(grid)
+    }
+}
+
+fn axis<T>(v: &Json, mut one: impl FnMut(&Json) -> Result<T, String>) -> Result<Vec<T>, String> {
+    match v {
+        Json::Arr(items) => items.iter().map(&mut one).collect(),
+        scalar => Ok(vec![one(scalar)?]),
+    }
+}
+
+/// Parse a campaign spec document: either a bare array of scenarios, or an
+/// object with optional `"scenarios"` and `"grids"` arrays. Entries
+/// contribute specs in document order (a `"grids"` key written before
+/// `"scenarios"` expands first).
+pub fn parse_campaign_spec(text: &str) -> Result<Vec<ScenarioSpec>, String> {
+    let doc = Json::parse(text)?;
+    let mut specs = Vec::new();
+    match &doc {
+        Json::Arr(items) => {
+            for item in items {
+                specs.push(ScenarioSpec::from_json(item)?);
+            }
+        }
+        Json::Obj(members) => {
+            for (key, value) in members {
+                match key.as_str() {
+                    "scenarios" => {
+                        let items = value.as_array().ok_or("\"scenarios\" must be an array")?;
+                        for item in items {
+                            specs.push(ScenarioSpec::from_json(item)?);
+                        }
+                    }
+                    "grids" => {
+                        let items = value.as_array().ok_or("\"grids\" must be an array")?;
+                        for item in items {
+                            specs.extend(Grid::from_json(item)?.expand());
+                        }
+                    }
+                    other => return Err(format!("unknown top-level key {other:?}")),
+                }
+            }
+        }
+        _ => return Err("campaign spec must be an object or an array".into()),
+    }
+    if specs.is_empty() {
+        return Err("campaign spec contains no scenarios".into());
+    }
+    for spec in &specs {
+        spec.validate()?;
+    }
+    Ok(specs)
+}
+
+/// Turns scenario *names* into runnable objects.
+///
+/// The single implementation used by the CLI and every bench binary lives
+/// in the facade crate (`emac::registry::Registry`), which can see both the
+/// algorithms (this crate) and the adversary implementations
+/// (`emac-adversary`); keeping the trait here lets `Campaign` stay free of
+/// an adversary-crate dependency.
+pub trait ScenarioFactory {
+    /// Construct the algorithm a spec names.
+    fn algorithm(&self, spec: &ScenarioSpec) -> Result<Box<dyn Algorithm>, String>;
+
+    /// Construct the adversary a spec names. `schedule` is the algorithm's
+    /// precomputed on/off schedule when it is energy-oblivious — the
+    /// schedule-aware attack adversaries need it, everything else ignores
+    /// it.
+    fn adversary(
+        &self,
+        spec: &ScenarioSpec,
+        schedule: Option<&Arc<dyn OnSchedule>>,
+    ) -> Result<Box<dyn Adversary>, String>;
+}
+
+/// Outcome of one scenario: the report, or why it could not run.
+#[derive(Clone, Debug)]
+pub struct ScenarioRun {
+    /// The spec that was executed.
+    pub spec: ScenarioSpec,
+    /// The run report, or an error (unknown name, invalid parameters, or a
+    /// panic inside the simulation, captured rather than poisoning the
+    /// whole campaign).
+    pub outcome: Result<RunReport, String>,
+}
+
+/// Parallel scenario executor.
+#[derive(Clone, Debug)]
+pub struct Campaign {
+    threads: usize,
+}
+
+impl Default for Campaign {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Campaign {
+    /// An executor sized to the machine (`available_parallelism`).
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Self { threads }
+    }
+
+    /// Set the worker count. `1` means serial execution (useful for
+    /// determinism comparisons and debugging).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Execute every spec and return the outcomes **in spec order**.
+    ///
+    /// Work is distributed over a scoped worker pool through an atomic
+    /// cursor; each worker builds its scenario's algorithm and adversary via
+    /// `factory` on its own thread, so nothing but plain data and the
+    /// factory reference crosses threads. Panics inside a scenario are
+    /// contained and reported as that scenario's error.
+    pub fn run<F>(&self, specs: &[ScenarioSpec], factory: &F) -> CampaignResult
+    where
+        F: ScenarioFactory + Sync,
+    {
+        let slots: Vec<Mutex<Option<ScenarioRun>>> =
+            specs.iter().map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        let workers = self.threads.min(specs.len().max(1));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(spec) = specs.get(i) else { break };
+                    let run = execute_one(spec, factory);
+                    *slots[i].lock().expect("result slot poisoned") = Some(run);
+                });
+            }
+        });
+        let runs = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every index visited by a worker")
+            })
+            .collect();
+        CampaignResult { runs }
+    }
+}
+
+fn execute_one<F: ScenarioFactory>(spec: &ScenarioSpec, factory: &F) -> ScenarioRun {
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| -> Result<RunReport, String> {
+        spec.validate()?;
+        let algorithm = factory.algorithm(spec)?;
+        let mut runner = Runner::new(spec.n).rate(spec.rho).beta(spec.beta).rounds(spec.rounds);
+        if let Some(drain) = spec.drain {
+            runner = runner.drain(drain);
+        }
+        if let Some(cap) = spec.cap {
+            runner = runner.cap(cap);
+        }
+        runner.try_run_against(algorithm.as_ref(), |schedule| factory.adversary(spec, schedule))
+    }))
+    .unwrap_or_else(|panic| {
+        let msg = panic
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| panic.downcast_ref::<&str>().copied())
+            .unwrap_or("opaque panic");
+        Err(format!("scenario panicked: {msg}"))
+    });
+    ScenarioRun { spec: spec.clone(), outcome }
+}
+
+/// All outcomes of one campaign, in spec order.
+#[derive(Clone, Debug)]
+pub struct CampaignResult {
+    /// One entry per input spec.
+    pub runs: Vec<ScenarioRun>,
+}
+
+/// Columns of [`CampaignResult::to_csv`].
+pub const CSV_HEADER: &str = "label,algorithm,adversary,n,k,rho,beta,rounds,seed,cap,\
+     injected,delivered,latency_max,delay_mean,max_queue,energy_per_round,slope,verdict,\
+     clean,drained,error";
+
+impl CampaignResult {
+    /// Whether every scenario ran and respected every model invariant.
+    pub fn all_clean(&self) -> bool {
+        self.runs.iter().all(|r| matches!(&r.outcome, Ok(report) if report.clean()))
+    }
+
+    /// Reports of the successful runs, in spec order.
+    pub fn reports(&self) -> impl Iterator<Item = &RunReport> {
+        self.runs.iter().filter_map(|r| r.outcome.as_ref().ok())
+    }
+
+    /// First error, if any scenario failed to run.
+    pub fn first_error(&self) -> Option<&str> {
+        self.runs.iter().find_map(|r| r.outcome.as_ref().err().map(String::as_str))
+    }
+
+    /// One human summary line.
+    pub fn summary(&self) -> String {
+        let total = self.runs.len();
+        let failed = self.runs.iter().filter(|r| r.outcome.is_err()).count();
+        let unclean =
+            self.runs.iter().filter(|r| matches!(&r.outcome, Ok(rep) if !rep.clean())).count();
+        format!(
+            "{total} scenarios: {} ok, {unclean} with violations, {failed} failed",
+            total - failed - unclean
+        )
+    }
+
+    /// Full structured export: every spec with its report (or error).
+    pub fn to_json(&self) -> Json {
+        let runs = self
+            .runs
+            .iter()
+            .map(|run| {
+                let mut obj = vec![("spec".to_string(), run.spec.to_json())];
+                match &run.outcome {
+                    Ok(report) => obj.push(("report".into(), report_json(report))),
+                    Err(e) => obj.push(("error".into(), Json::Str(e.clone()))),
+                }
+                Json::Obj(obj)
+            })
+            .collect();
+        Json::Obj(vec![
+            ("summary".into(), Json::Str(self.summary())),
+            ("runs".into(), Json::Arr(runs)),
+        ])
+    }
+
+    /// Flat CSV export (header [`CSV_HEADER`]), one row per scenario.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(CSV_HEADER);
+        out.push('\n');
+        for run in &self.runs {
+            let spec = &run.spec;
+            let mut row = vec![
+                csv_field(&spec.display_label()),
+                csv_field(&spec.algorithm),
+                csv_field(&spec.adversary),
+                spec.n.to_string(),
+                spec.k.to_string(),
+                rate_str(spec.rho),
+                rate_str(spec.beta),
+                spec.rounds.to_string(),
+                spec.seed.to_string(),
+                spec.cap.map(|c| c.to_string()).unwrap_or_default(),
+            ];
+            match &run.outcome {
+                Ok(r) => row.extend([
+                    r.metrics.injected.to_string(),
+                    r.metrics.delivered.to_string(),
+                    r.latency().to_string(),
+                    format!("{:.3}", r.metrics.delay.mean()),
+                    r.max_queue().to_string(),
+                    format!("{:.4}", r.metrics.energy_per_round()),
+                    format!("{:.6}", r.stability.slope),
+                    format!("{:?}", r.stability.verdict),
+                    r.clean().to_string(),
+                    r.drained.map(|d| d.to_string()).unwrap_or_default(),
+                    String::new(),
+                ]),
+                Err(e) => {
+                    row.extend(std::iter::repeat_n(String::new(), 10));
+                    row.push(csv_field(e));
+                }
+            }
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write `campaign.json` and `campaign.csv` under `dir`, creating it.
+    pub fn write_files(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join("campaign.json"), self.to_json().render_pretty())?;
+        std::fs::write(dir.join("campaign.csv"), self.to_csv())
+    }
+}
+
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn report_json(r: &RunReport) -> Json {
+    let mut obj = vec![
+        ("algorithm".to_string(), Json::Str(r.algorithm.clone())),
+        ("n".into(), Json::Int(r.n as i64)),
+        ("cap".into(), Json::Int(r.cap as i64)),
+        ("rho".into(), Json::Str(rate_str(r.rho))),
+        ("beta".into(), Json::Str(rate_str(r.beta))),
+        ("rounds".into(), Json::Int(r.rounds as i64)),
+        ("injected".into(), Json::Int(r.metrics.injected as i64)),
+        ("delivered".into(), Json::Int(r.metrics.delivered as i64)),
+        ("latency_max".into(), Json::Int(r.latency() as i64)),
+        ("delay_mean".into(), Json::Float(r.metrics.delay.mean())),
+        ("max_queue".into(), Json::Int(r.max_queue() as i64)),
+        ("energy_per_round".into(), Json::Float(r.metrics.energy_per_round())),
+        ("goodput".into(), Json::Float(r.metrics.goodput())),
+        ("slope".into(), Json::Float(r.stability.slope)),
+        ("verdict".into(), Json::Str(format!("{:?}", r.stability.verdict))),
+        ("clean".into(), Json::Bool(r.clean())),
+    ];
+    if !r.clean() {
+        obj.push(("violations".into(), Json::Str(r.violations.to_string())));
+    }
+    if let Some(drained) = r.drained {
+        obj.push(("drained".into(), Json::Bool(drained)));
+    }
+    Json::Obj(obj)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_cardinality_matches_expansion() {
+        let grid = Grid::new("count-hop", "uniform")
+            .algorithms(["count-hop", "orchestra"])
+            .ns([4, 6, 8])
+            .rhos([Rate::new(1, 2), Rate::new(3, 4)])
+            .seeds([1, 2, 3]);
+        assert_eq!(grid.cardinality(), 2 * 3 * 2 * 3);
+        let specs = grid.expand();
+        assert_eq!(specs.len(), grid.cardinality());
+        // fixed nesting order: last axis (seed) varies fastest
+        assert_eq!(specs[0].seed, 1);
+        assert_eq!(specs[1].seed, 2);
+        assert_eq!(specs[2].seed, 3);
+        assert_eq!(specs[0].algorithm, "count-hop");
+        assert_eq!(specs[specs.len() - 1].algorithm, "orchestra");
+    }
+
+    #[test]
+    fn spec_json_round_trip_preserves_everything() {
+        let mut spec = ScenarioSpec::new("k-cycle", "least-on")
+            .label("row 6")
+            .n(9)
+            .k(3)
+            .rho(Rate::new(5, 12))
+            .beta(Rate::new(3, 2))
+            .rounds(60_000)
+            .drain(10_000)
+            .cap(4)
+            .seed(7)
+            .flood(1, 8)
+            .period(64)
+            .horizon(1_000);
+        let json = spec.to_json().render();
+        let back = ScenarioSpec::from_json(&Json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back, spec);
+        // u64 fields beyond i64::MAX survive the trip (encoded as strings)
+        spec.seed = u64::MAX;
+        spec.rounds = u64::MAX - 1;
+        let json = spec.to_json().render();
+        let back = ScenarioSpec::from_json(&Json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back, spec);
+        assert!(json.contains(&format!("\"{}\"", u64::MAX)), "{json}");
+    }
+
+    #[test]
+    fn spec_from_json_rejects_unknown_keys_and_missing_names() {
+        let bad = Json::parse(r#"{"algorithm":"a","adversary":"b","typo":1}"#).unwrap();
+        assert!(ScenarioSpec::from_json(&bad).unwrap_err().contains("typo"));
+        let missing = Json::parse(r#"{"algorithm":"a"}"#).unwrap();
+        assert!(ScenarioSpec::from_json(&missing).is_err());
+    }
+
+    #[test]
+    fn campaign_spec_document_forms() {
+        let doc = r#"{
+            "scenarios": [
+                {"algorithm": "count-hop", "adversary": "uniform", "n": 4, "rounds": 1000}
+            ],
+            "grids": [
+                {"algorithms": ["k-cycle"], "adversaries": ["uniform"],
+                 "n": [6, 9], "k": 3, "rho": ["1/5"], "rounds": 1000}
+            ]
+        }"#;
+        let specs = parse_campaign_spec(doc).unwrap();
+        assert_eq!(specs.len(), 3);
+        assert_eq!(specs[0].algorithm, "count-hop");
+        assert_eq!(specs[1].n, 6);
+        assert_eq!(specs[2].n, 9);
+
+        let bare = r#"[{"algorithm": "a", "adversary": "b", "rounds": 10}]"#;
+        assert_eq!(parse_campaign_spec(bare).unwrap().len(), 1);
+
+        assert!(parse_campaign_spec("{}").is_err(), "no scenarios");
+        assert!(parse_campaign_spec(r#"{"grids":[{"algorithms":[]}]}"#).is_err());
+    }
+
+    #[test]
+    fn validate_catches_bad_ranges() {
+        let mut spec = ScenarioSpec::new("a", "b");
+        spec.n = 1;
+        assert!(spec.validate().is_err());
+        spec.n = 4;
+        spec.rounds = 0;
+        assert!(spec.validate().is_err());
+        spec.rounds = 10;
+        spec.rho = Rate::new(3, 2);
+        assert!(spec.validate().is_err());
+        spec.rho = Rate::one();
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn csv_escapes_awkward_labels() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("q\"q"), "\"q\"\"q\"");
+    }
+}

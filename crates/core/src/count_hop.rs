@@ -366,7 +366,7 @@ mod tests {
     #[test]
     fn substage_orders() {
         let s = CountHopStation::new(5); // co = 4
-        // v = 2: TA = [0, 1, 3]
+                                         // v = 2: TA = [0, 1, 3]
         assert_eq!(s.ta_station(2, 0), 0);
         assert_eq!(s.ta_station(2, 1), 1);
         assert_eq!(s.ta_station(2, 2), 3);
@@ -384,7 +384,8 @@ mod tests {
     fn empty_system_idles_cleanly() {
         let n = 4;
         let cfg = SimConfig::new(n, 2);
-        let mut sim = Simulator::new(cfg, CountHop::new().build(n), Box::new(emac_sim::NoInjections));
+        let mut sim =
+            Simulator::new(cfg, CountHop::new().build(n), Box::new(emac_sim::NoInjections));
         sim.run(2_000);
         assert!(sim.violations().is_clean(), "{}", sim.violations());
         assert!(sim.metrics().max_awake <= 2);
@@ -446,9 +447,8 @@ mod tests {
         // Theorem 2: no cap-2 algorithm is stable at rate 1. The counting
         // overhead of Count-Hop makes queues grow under any rate-1 flood.
         let n = 6;
-        let cfg = SimConfig::new(n, 2)
-            .adversary_type(Rate::one(), Rate::integer(2))
-            .sample_every(256);
+        let cfg =
+            SimConfig::new(n, 2).adversary_type(Rate::one(), Rate::integer(2)).sample_every(256);
         let adv = Box::new(SingleTarget::new(0, 3));
         let mut sim = Simulator::new(cfg, CountHop::new().build(n), adv);
         sim.run(100_000);
@@ -464,9 +464,8 @@ mod tests {
     #[test]
     fn sleeper_adversary_also_destabilises_at_rate_one() {
         let n = 6;
-        let cfg = SimConfig::new(n, 2)
-            .adversary_type(Rate::one(), Rate::integer(1))
-            .sample_every(256);
+        let cfg =
+            SimConfig::new(n, 2).adversary_type(Rate::one(), Rate::integer(1)).sample_every(256);
         let adv = Box::new(SleeperTargeting::new());
         let mut sim = Simulator::new(cfg, CountHop::new().build(n), adv);
         sim.run(60_000);

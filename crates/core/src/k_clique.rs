@@ -15,12 +15,12 @@
 //! Theorem 7: bounded latency for `ρ < k²/(n(2n−k))`, and latency at most
 //! `8(n²/k)(1 + β/(2k))` when `ρ ≤ k²/(2n(2n−k))`.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use emac_broadcast::TokenRing;
 use emac_sim::{
-    Action, AlgorithmClass, BuiltAlgorithm, Effects, Feedback, IndexedQueue, Message,
-    OnSchedule, Protocol, ProtocolCtx, Round, StationId, Wake, WakeMode,
+    Action, AlgorithmClass, BuiltAlgorithm, Effects, Feedback, IndexedQueue, Message, OnSchedule,
+    Protocol, ProtocolCtx, Round, StationId, Wake, WakeMode,
 };
 
 use crate::algorithm::Algorithm;
@@ -150,12 +150,12 @@ struct PairReplica {
 
 /// Per-station `k-Clique` protocol.
 pub struct KCliqueStation {
-    params: Rc<KCliqueParams>,
+    params: Arc<KCliqueParams>,
     reps: Vec<PairReplica>,
 }
 
 impl KCliqueStation {
-    fn new(params: Rc<KCliqueParams>, id: StationId) -> Self {
+    fn new(params: Arc<KCliqueParams>, id: StationId) -> Self {
         let reps = params
             .pairs_of(id)
             .into_iter()
@@ -177,7 +177,7 @@ impl KCliqueStation {
 impl Protocol for KCliqueStation {
     fn act(&mut self, ctx: &ProtocolCtx, queue: &IndexedQueue) -> Action {
         let p = self.params.active_pair(ctx.round);
-        let params = Rc::clone(&self.params);
+        let params = Arc::clone(&self.params);
         let Some(rep) = self.replica_mut(p) else {
             return Action::Listen;
         };
@@ -255,9 +255,9 @@ impl Algorithm for KClique {
     }
 
     fn build(&self, n: usize) -> BuiltAlgorithm {
-        let params = Rc::new(KCliqueParams::new(n, self.k));
+        let params = Arc::new(KCliqueParams::new(n, self.k));
         let protocols = (0..n)
-            .map(|s| Box::new(KCliqueStation::new(Rc::clone(&params), s)) as Box<dyn Protocol>)
+            .map(|s| Box::new(KCliqueStation::new(Arc::clone(&params), s)) as Box<dyn Protocol>)
             .collect();
         BuiltAlgorithm {
             name: format!("k-Clique(n={n}, k={})", params.k()),
@@ -368,14 +368,12 @@ mod tests {
         let alg = KClique::new(k);
         let built = alg.build(n);
         let schedule = match &built.wake {
-            WakeMode::Scheduled(s) => Rc::clone(s),
+            WakeMode::Scheduled(s) => Arc::clone(s),
             _ => unreachable!(),
         };
         let horizon = alg.params(n).num_pairs() as u64;
         let rho = bounds::k_subsets_rate_threshold(n as u64, k as u64).scaled(3, 2);
-        let cfg = SimConfig::new(n, k)
-            .adversary_type(rho, Rate::integer(2))
-            .sample_every(512);
+        let cfg = SimConfig::new(n, k).adversary_type(rho, Rate::integer(2)).sample_every(512);
         let adv = Box::new(LeastOnPair::new(&schedule, n, horizon));
         let mut sim = Simulator::new(cfg, built, adv);
         sim.run(200_000);

@@ -19,12 +19,12 @@
 //! Theorem 5: latency at most `(32 + β)·n` for every `(ρ, β)`-adversary
 //! with `ρ < (k−1)/(n−1)`.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use emac_broadcast::TokenRing;
 use emac_sim::{
-    Action, AlgorithmClass, BuiltAlgorithm, Effects, Feedback, IndexedQueue, Message,
-    OnSchedule, Protocol, ProtocolCtx, Round, StationId, Wake, WakeMode,
+    Action, AlgorithmClass, BuiltAlgorithm, Effects, Feedback, IndexedQueue, Message, OnSchedule,
+    Protocol, ProtocolCtx, Round, StationId, Wake, WakeMode,
 };
 
 use crate::algorithm::Algorithm;
@@ -131,8 +131,7 @@ impl OnSchedule for KCycleParams {
 
     fn on_set(&self, n: usize, round: Round) -> Vec<StationId> {
         let g = self.active_group(round);
-        let mut on: Vec<StationId> =
-            self.group_members(g).into_iter().filter(|&s| s < n).collect();
+        let mut on: Vec<StationId> = self.group_members(g).into_iter().filter(|&s| s < n).collect();
         on.sort_unstable();
         on
     }
@@ -150,12 +149,12 @@ struct GroupReplica {
 
 /// Per-station `k-Cycle` protocol.
 pub struct KCycleStation {
-    params: Rc<KCycleParams>,
+    params: Arc<KCycleParams>,
     reps: Vec<GroupReplica>,
 }
 
 impl KCycleStation {
-    fn new(params: Rc<KCycleParams>, id: StationId) -> Self {
+    fn new(params: Arc<KCycleParams>, id: StationId) -> Self {
         let reps = params
             .groups_of(id)
             .into_iter()
@@ -264,9 +263,9 @@ impl Algorithm for KCycle {
     }
 
     fn build(&self, n: usize) -> BuiltAlgorithm {
-        let params = Rc::new(self.params(n));
+        let params = Arc::new(self.params(n));
         let protocols = (0..n)
-            .map(|s| Box::new(KCycleStation::new(Rc::clone(&params), s)) as Box<dyn Protocol>)
+            .map(|s| Box::new(KCycleStation::new(Arc::clone(&params), s)) as Box<dyn Protocol>)
             .collect();
         BuiltAlgorithm {
             name: format!("k-Cycle(n={n}, k={})", params.k()),
@@ -357,9 +356,7 @@ mod tests {
         let beta = 2u64;
         // rho = 0.8 * (k-1)/(n-1) = 0.8/4 = 1/5
         let rho = bounds::k_cycle_rate_threshold(n as u64, k as u64).scaled(4, 5);
-        let cfg = SimConfig::new(n, k)
-            .adversary_type(rho, Rate::integer(beta))
-            .sample_every(256);
+        let cfg = SimConfig::new(n, k).adversary_type(rho, Rate::integer(beta)).sample_every(256);
         let adv = Box::new(UniformRandom::new(17));
         let mut sim = Simulator::new(cfg, KCycle::new(k).build(n), adv);
         sim.run(120_000);
@@ -395,9 +392,8 @@ mod tests {
             (Rate::new(23, 100), true),  // inside Theorem 5's claimed region!
             (Rate::new(15, 100), false), // below the group share
         ] {
-            let cfg = SimConfig::new(n, p.k())
-                .adversary_type(rho, Rate::integer(2))
-                .sample_every(512);
+            let cfg =
+                SimConfig::new(n, p.k()).adversary_type(rho, Rate::integer(2)).sample_every(512);
             let adv = Box::new(SpreadFromOne::new(1)); // station 1: one group only
             let mut sim = Simulator::new(cfg, KCycle::new(k).build(n), adv);
             sim.run(150_000);
@@ -418,16 +414,14 @@ mod tests {
         let alg = KCycle::new(k);
         let built = alg.build(n);
         let schedule = match &built.wake {
-            WakeMode::Scheduled(s) => Rc::clone(s),
+            WakeMode::Scheduled(s) => Arc::clone(s),
             _ => unreachable!(),
         };
         let p = alg.params(n);
         let horizon = p.delta() * p.groups() as u64;
         // rho = 1.25 * k/n > k/n (Theorem 6)
         let rho = bounds::oblivious_rate_threshold(n as u64, k as u64).scaled(5, 4);
-        let cfg = SimConfig::new(n, k)
-            .adversary_type(rho, Rate::integer(2))
-            .sample_every(256);
+        let cfg = SimConfig::new(n, k).adversary_type(rho, Rate::integer(2)).sample_every(256);
         let adv = Box::new(LeastOnStation::new(&schedule, n, horizon));
         let mut sim = Simulator::new(cfg, built, adv);
         sim.run(120_000);

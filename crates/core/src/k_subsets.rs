@@ -20,12 +20,12 @@
 //! below the threshold — available here as [`ThreadSubroutine::Rrw`].
 
 use std::collections::{HashMap, VecDeque};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use emac_broadcast::{BatonList, TokenRing};
 use emac_sim::{
-    Action, AlgorithmClass, BuiltAlgorithm, ControlBits, Effects, Feedback, IndexedQueue,
-    Message, OnSchedule, PacketId, Protocol, ProtocolCtx, Round, StationId, Wake, WakeMode,
+    Action, AlgorithmClass, BuiltAlgorithm, ControlBits, Effects, Feedback, IndexedQueue, Message,
+    OnSchedule, PacketId, Protocol, ProtocolCtx, Round, StationId, Wake, WakeMode,
 };
 
 use crate::algorithm::Algorithm;
@@ -120,7 +120,7 @@ struct ThreadState {
 
 /// Per-station `k-Subsets` protocol.
 pub struct KSubsetsStation {
-    params: Rc<KSubsetsParams>,
+    params: Arc<KSubsetsParams>,
     mode: ThreadSubroutine,
     threads: HashMap<u32, ThreadState>,
     /// Per-destination balanced allocator over eligible threads.
@@ -129,7 +129,7 @@ pub struct KSubsetsStation {
 }
 
 impl KSubsetsStation {
-    fn new(params: Rc<KSubsetsParams>, id: StationId, mode: ThreadSubroutine) -> Self {
+    fn new(params: Arc<KSubsetsParams>, id: StationId, mode: ThreadSubroutine) -> Self {
         let my_threads = params.threads_of(id);
         let threads = my_threads
             .iter()
@@ -329,10 +329,10 @@ impl Algorithm for KSubsets {
     }
 
     fn build(&self, n: usize) -> BuiltAlgorithm {
-        let params = Rc::new(KSubsetsParams::new(n, self.k));
+        let params = Arc::new(KSubsetsParams::new(n, self.k));
         let protocols = (0..n)
             .map(|s| {
-                Box::new(KSubsetsStation::new(Rc::clone(&params), s, self.subroutine))
+                Box::new(KSubsetsStation::new(Arc::clone(&params), s, self.subroutine))
                     as Box<dyn Protocol>
             })
             .collect();
@@ -423,14 +423,12 @@ mod tests {
         let alg = KSubsets::new(k);
         let built = alg.build(n);
         let schedule = match &built.wake {
-            WakeMode::Scheduled(s) => Rc::clone(s),
+            WakeMode::Scheduled(s) => Arc::clone(s),
             _ => unreachable!(),
         };
         let gamma = alg.params(n).gamma() as u64;
         let rho = bounds::k_subsets_rate_threshold(n as u64, k as u64).scaled(3, 2);
-        let cfg = SimConfig::new(n, k)
-            .adversary_type(rho, Rate::integer(2))
-            .sample_every(512);
+        let cfg = SimConfig::new(n, k).adversary_type(rho, Rate::integer(2)).sample_every(512);
         let adv = Box::new(LeastOnPair::new(&schedule, n, gamma));
         let mut sim = Simulator::new(cfg, built, adv);
         sim.run(150_000);

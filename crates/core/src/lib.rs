@@ -39,18 +39,20 @@ pub mod algorithm;
 pub mod balance;
 pub mod baseline;
 pub mod bounds;
+pub mod campaign;
 pub mod combinatorics;
 pub mod count_hop;
 pub mod k_clique;
-pub mod orchestra;
 pub mod k_cycle;
 pub mod k_subsets;
+pub mod orchestra;
 pub mod runner;
 pub mod stability;
 
 pub use adjust_window::AdjustWindow;
 pub use algorithm::Algorithm;
 pub use baseline::DutyCycle;
+pub use campaign::{Campaign, CampaignResult, Grid, ScenarioFactory, ScenarioRun, ScenarioSpec};
 pub use count_hop::CountHop;
 pub use k_clique::KClique;
 pub use k_cycle::KCycle;
@@ -65,6 +67,7 @@ pub mod prelude {
     pub use crate::algorithm::Algorithm;
     pub use crate::baseline::DutyCycle;
     pub use crate::bounds;
+    pub use crate::campaign::{Campaign, CampaignResult, Grid, ScenarioFactory, ScenarioSpec};
     pub use crate::count_hop::CountHop;
     pub use crate::k_clique::KClique;
     pub use crate::k_cycle::KCycle;

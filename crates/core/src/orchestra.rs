@@ -32,8 +32,8 @@ use std::collections::{HashMap, HashSet};
 
 use emac_broadcast::BatonList;
 use emac_sim::{
-    bits_for, Action, AlgorithmClass, BuiltAlgorithm, ControlBits, Effects, Feedback,
-    IndexedQueue, Message, PacketId, Protocol, ProtocolCtx, Round, StationId, Wake, WakeMode,
+    bits_for, Action, AlgorithmClass, BuiltAlgorithm, ControlBits, Effects, Feedback, IndexedQueue,
+    Message, PacketId, Protocol, ProtocolCtx, Round, StationId, Wake, WakeMode,
 };
 
 use crate::algorithm::Algorithm;
@@ -437,9 +437,8 @@ mod tests {
     fn queues_bounded_at_rate_one_single_target() {
         let n = 4;
         let beta = 2u64;
-        let cfg = SimConfig::new(n, 3)
-            .adversary_type(Rate::one(), Rate::integer(beta))
-            .sample_every(128);
+        let cfg =
+            SimConfig::new(n, 3).adversary_type(Rate::one(), Rate::integer(beta)).sample_every(128);
         let adv = Box::new(SingleTarget::new(0, 2));
         let mut sim = Simulator::new(cfg, Orchestra::new().build(n), adv);
         sim.run(120_000);
@@ -500,9 +499,8 @@ mod tests {
         // station drains only n-1 packets every n seasons while light
         // rounds of empty conductors waste the channel.
         let n = 4;
-        let cfg = SimConfig::new(n, 3)
-            .adversary_type(Rate::one(), Rate::integer(2))
-            .sample_every(128);
+        let cfg =
+            SimConfig::new(n, 3).adversary_type(Rate::one(), Rate::integer(2)).sample_every(128);
         let adv = Box::new(SingleTarget::new(0, 2));
         let mut sim = Simulator::new(cfg, Orchestra::without_move_big().build(n), adv);
         sim.run(120_000);

@@ -5,11 +5,9 @@
 //! schedule, as the lower-bound constructions do), run for a number of
 //! rounds, optionally drain, and classify stability.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
-use emac_sim::{
-    Adversary, Metrics, OnSchedule, Rate, SimConfig, Simulator, Violations, WakeMode,
-};
+use emac_sim::{Adversary, Metrics, OnSchedule, Rate, SimConfig, Simulator, Violations, WakeMode};
 
 use crate::algorithm::Algorithm;
 use crate::stability::{classify, StabilityReport};
@@ -47,9 +45,12 @@ impl Runner {
         self
     }
 
-    /// Set the burstiness coefficient β.
-    pub fn beta(mut self, beta: u64) -> Self {
-        self.beta = Rate::integer(beta);
+    /// Set the burstiness coefficient β. Accepts anything convertible to a
+    /// [`Rate`]: an integer (`.beta(2)`) as before, or a general rational
+    /// (`.beta(Rate::new(3, 2))`) matching the paper's β ∈ ℚ and
+    /// `SimConfig`.
+    pub fn beta(mut self, beta: impl Into<Rate>) -> Self {
+        self.beta = beta.into();
         self
     }
 
@@ -83,28 +84,39 @@ impl Runner {
     pub fn run_against(
         &self,
         algorithm: &dyn Algorithm,
-        make_adversary: impl FnOnce(Option<&Rc<dyn OnSchedule>>) -> Box<dyn Adversary>,
+        make_adversary: impl FnOnce(Option<&Arc<dyn OnSchedule>>) -> Box<dyn Adversary>,
     ) -> RunReport {
+        let run: Result<RunReport, std::convert::Infallible> =
+            self.try_run_against(algorithm, |s| Ok(make_adversary(s)));
+        match run {
+            Ok(report) => report,
+        }
+    }
+
+    /// Like [`Runner::run_against`], but the adversary constructor may fail
+    /// (e.g. a name registry rejecting a schedule-aware adversary for an
+    /// adaptive algorithm). Nothing is simulated when it does.
+    pub fn try_run_against<E>(
+        &self,
+        algorithm: &dyn Algorithm,
+        make_adversary: impl FnOnce(Option<&Arc<dyn OnSchedule>>) -> Result<Box<dyn Adversary>, E>,
+    ) -> Result<RunReport, E> {
         let cap = self.cap_override.unwrap_or_else(|| algorithm.required_cap(self.n));
-        let sample = if self.sample_every == 0 {
-            (self.rounds / 2_048).max(1)
-        } else {
-            self.sample_every
-        };
-        let cfg = SimConfig::new(self.n, cap)
-            .adversary_type(self.rho, self.beta)
-            .sample_every(sample);
+        let sample =
+            if self.sample_every == 0 { (self.rounds / 2_048).max(1) } else { self.sample_every };
+        let cfg =
+            SimConfig::new(self.n, cap).adversary_type(self.rho, self.beta).sample_every(sample);
         let built = algorithm.build(self.n);
         let adversary = match &built.wake {
-            WakeMode::Scheduled(s) => make_adversary(Some(s)),
-            WakeMode::Adaptive => make_adversary(None),
+            WakeMode::Scheduled(s) => make_adversary(Some(s))?,
+            WakeMode::Adaptive => make_adversary(None)?,
         };
         let name = built.name.clone();
         let mut sim = Simulator::new(cfg, built, adversary);
         sim.run(self.rounds);
         let drained = self.drain_rounds.map(|max| sim.run_until_drained(max));
         let metrics = sim.metrics().clone();
-        RunReport {
+        Ok(RunReport {
             algorithm: name,
             n: self.n,
             cap,
@@ -115,7 +127,7 @@ impl Runner {
             metrics,
             violations: sim.violations().clone(),
             drained,
-        }
+        })
     }
 }
 

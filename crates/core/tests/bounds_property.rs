@@ -1,78 +1,93 @@
 //! Property tests over the Table-1 bound formulas: the relationships the
 //! paper's narrative relies on must hold for all parameter values, not just
-//! the sampled configurations of the experiments.
+//! the sampled configurations of the experiments. The parameter spaces are
+//! small enough to walk exhaustively — stronger than random sampling.
 
 use emac_core::bounds::*;
-use proptest::prelude::*;
 
-proptest! {
-    /// Threshold ordering of Table 1:
-    /// k(k−1)/(n(n−1)) ≤ k²/(n(2n−k)) ≤ ... < (k−1)/(n−1) < k/n < 1.
-    #[test]
-    fn threshold_chain(n in 4u64..64, k in 2u64..32) {
-        prop_assume!(k < n);
-        let subsets = k_subsets_rate_threshold(n, k);
-        let clique = k_clique_rate_threshold(n, k);
-        let cycle = k_cycle_rate_threshold(n, k);
-        let oblivious = oblivious_rate_threshold(n, k);
-        // k-Clique's threshold never exceeds k-Subsets' ((n−k)(k−2) ≥ 0)
-        prop_assert!(clique.lt(&subsets) || clique == subsets);
-        // the optimal oblivious-direct rate is below k-Cycle's region
-        prop_assert!(subsets.lt(&cycle));
-        // which is below the oblivious impossibility bound
-        prop_assert!(cycle.lt(&oblivious));
-        // which is below the channel capacity
-        prop_assert!(oblivious.lt(&emac_sim::Rate::one()) || n == k);
-        // the k-Clique latency-rate is exactly half its threshold
-        let latency_rate = k_clique_rate_for_latency(n, k);
-        prop_assert!(latency_rate.scaled(2, 1) == clique);
+/// Threshold ordering of Table 1:
+/// k(k−1)/(n(n−1)) ≤ k²/(n(2n−k)) ≤ ... < (k−1)/(n−1) < k/n < 1.
+#[test]
+fn threshold_chain() {
+    for n in 4u64..64 {
+        for k in 2u64..32.min(n) {
+            let subsets = k_subsets_rate_threshold(n, k);
+            let clique = k_clique_rate_threshold(n, k);
+            let cycle = k_cycle_rate_threshold(n, k);
+            let oblivious = oblivious_rate_threshold(n, k);
+            // k-Clique's threshold never exceeds k-Subsets' ((n−k)(k−2) ≥ 0)
+            assert!(clique.lt(&subsets) || clique == subsets, "n={n} k={k}");
+            // the optimal oblivious-direct rate is below k-Cycle's region
+            assert!(subsets.lt(&cycle), "n={n} k={k}");
+            // which is below the oblivious impossibility bound
+            assert!(cycle.lt(&oblivious), "n={n} k={k}");
+            // which is below the channel capacity
+            assert!(oblivious.lt(&emac_sim::Rate::one()) || n == k, "n={n} k={k}");
+            // the k-Clique latency-rate is exactly half its threshold
+            let latency_rate = k_clique_rate_for_latency(n, k);
+            assert!(latency_rate.scaled(2, 1) == clique, "n={n} k={k}");
+        }
     }
+}
 
-    /// Bounds are monotone in the parameters the paper treats as costs.
-    #[test]
-    fn bounds_are_monotone(n in 3u64..40, beta in 0u64..32) {
-        let b = beta as f64;
-        // queue bounds grow with n
-        prop_assert!(orchestra_queue_bound(n + 1, b) > orchestra_queue_bound(n, b));
-        // latency bounds grow with rho
-        prop_assert!(
-            count_hop_latency_bound(n, 0.6, b) > count_hop_latency_bound(n, 0.5, b)
-        );
-        prop_assert!(
-            adjust_window_latency_bound(n, 0.6, b) > adjust_window_latency_bound(n, 0.5, b)
-        );
-        // and with beta
-        prop_assert!(k_cycle_latency_bound(n, b + 1.0) > k_cycle_latency_bound(n, b));
-        // the implementation bound dominates the paper's for Count-Hop
-        prop_assert!(
-            count_hop_impl_latency_bound(n, 0.5, b) >= count_hop_latency_bound(n, 0.5, b)
-        );
+/// Bounds are monotone in the parameters the paper treats as costs.
+#[test]
+fn bounds_are_monotone() {
+    for n in 3u64..40 {
+        for beta in 0u64..32 {
+            let b = beta as f64;
+            // queue bounds grow with n
+            assert!(orchestra_queue_bound(n + 1, b) > orchestra_queue_bound(n, b));
+            // latency bounds grow with rho
+            assert!(count_hop_latency_bound(n, 0.6, b) > count_hop_latency_bound(n, 0.5, b));
+            assert!(
+                adjust_window_latency_bound(n, 0.6, b) > adjust_window_latency_bound(n, 0.5, b)
+            );
+            // and with beta
+            assert!(k_cycle_latency_bound(n, b + 1.0) > k_cycle_latency_bound(n, b));
+            // the implementation bound dominates the paper's for Count-Hop
+            assert!(count_hop_impl_latency_bound(n, 0.5, b) >= count_hop_latency_bound(n, 0.5, b));
+        }
     }
+}
 
-    /// Binomials satisfy Pascal's rule (the subset enumeration's count).
-    #[test]
-    fn pascal_rule(n in 1u64..50, k in 1u64..50) {
-        prop_assume!(k <= n);
-        prop_assert_eq!(binomial(n + 1, k), binomial(n, k) + binomial(n, k - 1));
+/// Binomials satisfy Pascal's rule (the subset enumeration's count).
+#[test]
+fn pascal_rule() {
+    for n in 1u64..50 {
+        for k in 1u64..=n {
+            assert_eq!(binomial(n + 1, k), binomial(n, k) + binomial(n, k - 1), "n={n} k={k}");
+        }
     }
+}
 
-    /// `lg` matches the paper's definition `⌈log₂(x+1)⌉` against a naive
-    /// computation.
-    #[test]
-    fn lg_matches_naive(x in 0u64..1_000_000) {
+/// `lg` matches the paper's definition `⌈log₂(x+1)⌉` against a naive
+/// computation.
+#[test]
+fn lg_matches_naive() {
+    let mut rng = emac_sim::SmallRng::seed_from_u64(0x19);
+    let samples = (0..2_000u64).chain((0..512).map(|_| rng.random_range_u64(0..1_000_000)));
+    for x in samples {
         let naive = ((x + 1) as f64).log2().ceil() as u64;
-        prop_assert_eq!(lg(x), naive);
+        assert_eq!(lg(x), naive, "x={x}");
     }
+}
 
-    /// The Adjust-Window steady window always carries a window of traffic.
-    #[test]
-    fn steady_window_actually_fits(n in 2usize..6, num in 1u64..10, beta in 1u64..6) {
-        let rho = emac_sim::Rate::new(num, 10);
-        let l = emac_core::adjust_window::steady_window_size(n, rho, beta);
-        let cfg = emac_core::adjust_window::WindowCfg::new(n, 0, l);
-        // L_M >= rho*L + beta exactly
-        prop_assert!(
-            cfg.lm_len as u128 * 10 >= num as u128 * l as u128 + beta as u128 * 10
-        );
+/// The Adjust-Window steady window always carries a window of traffic.
+#[test]
+fn steady_window_actually_fits() {
+    for n in 2usize..6 {
+        for num in 1u64..10 {
+            for beta in 1u64..6 {
+                let rho = emac_sim::Rate::new(num, 10);
+                let l = emac_core::adjust_window::steady_window_size(n, rho, beta);
+                let cfg = emac_core::adjust_window::WindowCfg::new(n, 0, l);
+                // L_M >= rho*L + beta exactly
+                assert!(
+                    cfg.lm_len as u128 * 10 >= num as u128 * l as u128 + beta as u128 * 10,
+                    "n={n} rho={num}/10 beta={beta}"
+                );
+            }
+        }
     }
 }

@@ -61,7 +61,11 @@ fn mbtf_and_rrw_subsets_deliver_the_same_packets() {
             .run(&alg, Box::new(Scripted::from_triples(&script)));
         assert!(r.clean(), "{}: {}", r.algorithm, r.violations);
         assert_eq!(r.drained, Some(true), "{}", r.algorithm);
-        totals.push((r.metrics.injected, r.metrics.delivered, r.metrics.delivered_per_dest.clone()));
+        totals.push((
+            r.metrics.injected,
+            r.metrics.delivered,
+            r.metrics.delivered_per_dest.clone(),
+        ));
     }
     assert_eq!(totals[0], totals[1], "the two subroutines served different traffic");
 }
@@ -82,8 +86,5 @@ fn report_numbers_are_internally_consistent() {
     assert!(m.packet_rounds >= m.delivered); // every delivery was a packet round
     assert_eq!(m.outstanding(), 0);
     // every round is exactly one of the four channel outcomes
-    assert_eq!(
-        m.rounds,
-        m.silent_rounds + m.packet_rounds + m.light_rounds + m.collision_rounds
-    );
+    assert_eq!(m.rounds, m.silent_rounds + m.packet_rounds + m.light_rounds + m.collision_rounds);
 }

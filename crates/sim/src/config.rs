@@ -54,9 +54,8 @@ mod tests {
 
     #[test]
     fn builder_chain() {
-        let c = SimConfig::new(8, 3)
-            .adversary_type(Rate::new(3, 4), Rate::integer(2))
-            .sample_every(10);
+        let c =
+            SimConfig::new(8, 3).adversary_type(Rate::new(3, 4), Rate::integer(2)).sample_every(10);
         assert_eq!(c.n, 8);
         assert_eq!(c.cap, 3);
         assert_eq!(c.rho, Rate::new(3, 4));

@@ -24,8 +24,8 @@ use crate::message::Message;
 use crate::metrics::{Metrics, QueueSample};
 use crate::packet::{Injection, Packet, PacketId, Round, StationId};
 use crate::protocol::{
-    Action, Adversary, AlgorithmClass, BuiltAlgorithm, Effects, EnqueueOrigin, Feedback,
-    Protocol, ProtocolCtx, SystemView, Wake, WakeMode,
+    Action, Adversary, AlgorithmClass, BuiltAlgorithm, Effects, EnqueueOrigin, Feedback, Protocol,
+    ProtocolCtx, SystemView, Wake, WakeMode,
 };
 use crate::queue::IndexedQueue;
 use crate::rate::LeakyBucket;
@@ -233,13 +233,18 @@ impl Simulator {
                 }
                 if let Some(p) = msg.packet {
                     if !self.queues[sender].contains(p.id) {
-                        debug_assert!(false, "station {sender} transmitted foreign packet {}", p.id);
+                        debug_assert!(
+                            false,
+                            "station {sender} transmitted foreign packet {}",
+                            p.id
+                        );
                         self.violations.custody += 1;
                         msg.packet = None;
                     }
                 }
                 self.metrics.control_bits_total += msg.control.len() as u64;
-                self.metrics.control_bits_max = self.metrics.control_bits_max.max(msg.control.len());
+                self.metrics.control_bits_max =
+                    self.metrics.control_bits_max.max(msg.control.len());
                 if let Some(p) = msg.packet {
                     self.metrics.packet_rounds += 1;
                     self.queues[sender].remove(p.id).expect("custody verified above");
@@ -325,7 +330,8 @@ impl Simulator {
 
         // 6. Metrics.
         self.metrics.rounds += 1;
-        self.metrics.max_total_queued = self.metrics.max_total_queued.max(self.metrics.total_queued);
+        self.metrics.max_total_queued =
+            self.metrics.max_total_queued.max(self.metrics.total_queued);
         if r.is_multiple_of(self.cfg.sample_every) {
             self.metrics
                 .queue_series

@@ -75,6 +75,7 @@ pub mod plot;
 pub mod protocol;
 pub mod queue;
 pub mod rate;
+pub mod rng;
 pub mod trace;
 pub mod validate;
 
@@ -90,5 +91,6 @@ pub use protocol::{
 };
 pub use queue::{IndexedQueue, QueuedPacket};
 pub use rate::{LeakyBucket, Rate};
+pub use rng::SmallRng;
 pub use trace::{ChannelEvent, PacketOutcome, RoundTrace, Trace};
 pub use validate::{ProtocolFlag, Violations};

@@ -134,11 +134,7 @@ pub struct Metrics {
 impl Metrics {
     /// Metrics sized for a system of `n` stations.
     pub fn sized(n: usize) -> Self {
-        Self {
-            delivered_per_dest: vec![0; n],
-            injected_per_station: vec![0; n],
-            ..Self::default()
-        }
+        Self { delivered_per_dest: vec![0; n], injected_per_station: vec![0; n], ..Self::default() }
     }
 
     /// Jain's fairness index over per-destination deliveries, restricted to
@@ -146,12 +142,8 @@ impl Metrics {
     /// perfectly even service; `1/m` means one destination got everything.
     /// Useful for spotting starvation (the "latency ∞" rows of Table 1).
     pub fn delivery_fairness(&self) -> f64 {
-        let xs: Vec<f64> = self
-            .delivered_per_dest
-            .iter()
-            .filter(|&&x| x > 0)
-            .map(|&x| x as f64)
-            .collect();
+        let xs: Vec<f64> =
+            self.delivered_per_dest.iter().filter(|&&x| x > 0).map(|&x| x as f64).collect();
         if xs.is_empty() {
             return 1.0;
         }

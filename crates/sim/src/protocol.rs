@@ -14,7 +14,7 @@
 //!   precomputed [`OnSchedule`]; for each station the on-rounds are
 //!   determined before the execution starts, as the paper requires.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::message::Message;
 use crate::packet::{Injection, Round, StationId};
@@ -111,7 +111,10 @@ impl Effects {
 /// is switched on; `on_enqueued` is called whenever a packet enters the
 /// queue, even while the station is off (packets may be injected into
 /// switched-off stations).
-pub trait Protocol {
+///
+/// Protocols are `Send` so a built system can execute on a campaign worker
+/// thread; per-station state never crosses threads mid-run.
+pub trait Protocol: Send {
     /// First round in which this station is switched on (adaptive protocols
     /// only; ignored under a schedule). Called once before round 0.
     fn first_wake(&mut self, ctx: &ProtocolCtx) -> Wake {
@@ -141,7 +144,10 @@ pub trait Protocol {
 /// A precomputed on/off schedule for energy-oblivious algorithms: for each
 /// station and each round, whether the station is switched on. The schedule
 /// is fixed before the execution starts.
-pub trait OnSchedule {
+///
+/// Schedules are immutable shared data (`Send + Sync`): the engine and
+/// schedule-aware adversaries read the same `Arc` from any thread.
+pub trait OnSchedule: Send + Sync {
     /// Whether `station` is switched on in `round`.
     fn is_on(&self, station: StationId, round: Round) -> bool;
 
@@ -158,7 +164,7 @@ pub enum WakeMode {
     /// Stations drive their own wake-up timers.
     Adaptive,
     /// Stations follow a precomputed schedule (energy-oblivious).
-    Scheduled(Rc<dyn OnSchedule>),
+    Scheduled(Arc<dyn OnSchedule>),
 }
 
 impl std::fmt::Debug for WakeMode {
@@ -185,20 +191,15 @@ pub struct AlgorithmClass {
 
 impl AlgorithmClass {
     /// Non-oblivious, general messages, direct routing (e.g. Orchestra).
-    pub const NOBL_GEN_DIR: Self =
-        Self { oblivious: false, plain_packet: false, direct: true };
+    pub const NOBL_GEN_DIR: Self = Self { oblivious: false, plain_packet: false, direct: true };
     /// Non-oblivious, plain-packet, indirect routing (e.g. Adjust-Window).
-    pub const NOBL_PP_IND: Self =
-        Self { oblivious: false, plain_packet: true, direct: false };
+    pub const NOBL_PP_IND: Self = Self { oblivious: false, plain_packet: true, direct: false };
     /// Oblivious, plain-packet, indirect (e.g. k-Cycle).
-    pub const OBL_PP_IND: Self =
-        Self { oblivious: true, plain_packet: true, direct: false };
+    pub const OBL_PP_IND: Self = Self { oblivious: true, plain_packet: true, direct: false };
     /// Oblivious, plain-packet, direct (e.g. k-Clique).
-    pub const OBL_PP_DIR: Self =
-        Self { oblivious: true, plain_packet: true, direct: true };
+    pub const OBL_PP_DIR: Self = Self { oblivious: true, plain_packet: true, direct: true };
     /// Oblivious, general, direct (e.g. k-Subsets).
-    pub const OBL_GEN_DIR: Self =
-        Self { oblivious: true, plain_packet: false, direct: true };
+    pub const OBL_GEN_DIR: Self = Self { oblivious: true, plain_packet: false, direct: true };
 }
 
 /// A fully instantiated distributed algorithm, ready to run: one protocol
@@ -240,7 +241,10 @@ pub struct SystemView<'a> {
 ///
 /// `budget` is the number of packets the leaky bucket allows this round; the
 /// engine truncates any excess, so implementations cannot exceed their type.
-pub trait Adversary {
+///
+/// Adversaries are `Send` for the same reason protocols are: a whole
+/// simulated system must be movable onto a campaign worker thread.
+pub trait Adversary: Send {
     /// Plan the injections for `round`.
     fn plan(&mut self, round: Round, budget: usize, view: &SystemView<'_>) -> Vec<Injection>;
 }

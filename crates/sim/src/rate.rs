@@ -76,6 +76,38 @@ impl Rate {
     }
 }
 
+impl From<u64> for Rate {
+    fn from(n: u64) -> Self {
+        Rate::integer(n)
+    }
+}
+
+impl std::str::FromStr for Rate {
+    type Err = String;
+
+    /// Parse `P/Q`, a bare integer, or a non-negative decimal (which is
+    /// approximated over denominator 10⁴). Range restrictions (e.g. ρ ≤ 1)
+    /// are the caller's concern; β may legitimately exceed 1.
+    fn from_str(s: &str) -> Result<Self, String> {
+        if let Some((p, q)) = s.split_once('/') {
+            let p: u64 = p.trim().parse().map_err(|e| format!("rate: {e}"))?;
+            let q: u64 = q.trim().parse().map_err(|e| format!("rate: {e}"))?;
+            if q == 0 {
+                return Err("rate denominator is zero".into());
+            }
+            Ok(Rate::new(p, q))
+        } else if let Ok(n) = s.parse::<u64>() {
+            Ok(Rate::integer(n))
+        } else {
+            let v: f64 = s.parse().map_err(|e| format!("rate: {e}"))?;
+            if !v.is_finite() || v < 0.0 {
+                return Err("rate must be a non-negative number".into());
+            }
+            Ok(Rate::new((v * 10_000.0).round() as u64, 10_000))
+        }
+    }
+}
+
 impl std::fmt::Display for Rate {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         if self.den == 1 {
@@ -173,6 +205,19 @@ mod tests {
         assert!(Rate::new(1, 3).lt(&Rate::new(1, 2)));
         assert!(!Rate::new(2, 4).lt(&Rate::new(1, 2)));
         assert!(Rate::new(999, 1000).lt(&Rate::one()));
+    }
+
+    #[test]
+    fn rate_parses_all_forms() {
+        assert_eq!("3/4".parse::<Rate>().unwrap(), Rate::new(3, 4));
+        assert_eq!("1".parse::<Rate>().unwrap(), Rate::one());
+        assert_eq!("7".parse::<Rate>().unwrap(), Rate::integer(7));
+        assert_eq!("0.25".parse::<Rate>().unwrap(), Rate::new(1, 4));
+        assert_eq!("3/2".parse::<Rate>().unwrap(), Rate::new(3, 2)); // β > 1 is legal
+        assert!("1/0".parse::<Rate>().is_err());
+        assert!("x".parse::<Rate>().is_err());
+        assert!("-1".parse::<Rate>().is_err());
+        assert_eq!(Rate::from(5u64), Rate::integer(5));
     }
 
     #[test]

@@ -107,8 +107,7 @@ impl Trace {
         let mut out = String::new();
         for rt in &self.rounds {
             let awake: Vec<String> = rt.awake.iter().map(|s| s.to_string()).collect();
-            let inj: Vec<String> =
-                rt.injections.iter().map(|(s, d)| format!("{s}->{d}")).collect();
+            let inj: Vec<String> = rt.injections.iter().map(|(s, d)| format!("{s}->{d}")).collect();
             let event = match &rt.event {
                 ChannelEvent::Silence => "(silence)".to_string(),
                 ChannelEvent::Collision { transmitters } => {

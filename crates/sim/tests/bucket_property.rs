@@ -2,75 +2,83 @@
 //! random, or adversarially bursty — can make the number of injections in
 //! ANY interval `[a, b)` exceed `ρ·(b−a) + β`, and a greedy adversary can
 //! always achieve rate ρ on average.
+//!
+//! Sampled deterministically with the workspace PRNG (no `proptest` in the
+//! hermetic build); the parameter space is walked exhaustively where it is
+//! small and by seeded sampling where it is not.
 
-use emac_sim::{LeakyBucket, Rate};
-use proptest::prelude::*;
+use emac_sim::{LeakyBucket, Rate, SmallRng};
 
-proptest! {
-    #[test]
-    fn every_interval_respects_rho_t_plus_beta(
-        num in 1u64..10,
-        den in 1u64..10,
-        beta in 1u64..8,
-        // how much of the available budget the adversary takes each round
-        greed in proptest::collection::vec(0u32..=2, 50..300),
-    ) {
-        prop_assume!(num <= den); // rho <= 1
-        let rho = Rate::new(num, den);
-        let mut bucket = LeakyBucket::new(rho, Rate::integer(beta));
-        let mut taken: Vec<u64> = Vec::with_capacity(greed.len());
-        for g in &greed {
-            let avail = bucket.refill();
-            let want = match g {
-                0 => 0,
-                1 => avail / 2,
-                _ => avail,
-            };
-            bucket.debit(want);
-            taken.push(want as u64);
-        }
-        // exhaustive interval check (quadratic but small)
-        let prefix: Vec<u64> = std::iter::once(0)
-            .chain(taken.iter().scan(0, |acc, &x| {
-                *acc += x;
-                Some(*acc)
-            }))
-            .collect();
-        for a in 0..taken.len() {
-            for b in a + 1..=taken.len() {
-                let injected = prefix[b] - prefix[a];
-                let t = (b - a) as u128;
-                // injected <= rho * t + beta, in exact arithmetic:
-                // injected * den <= num * t + beta * den
-                prop_assert!(
-                    injected as u128 * den as u128
-                        <= num as u128 * t + beta as u128 * den as u128,
-                    "interval [{a},{b}): {injected} packets over {t} rounds (rho={num}/{den}, beta={beta})"
-                );
+#[test]
+fn every_interval_respects_rho_t_plus_beta() {
+    let mut rng = SmallRng::seed_from_u64(0xb0c1);
+    // exhaustive over rho = num/den <= 1 and beta; random greed traces
+    for num in 1u64..10 {
+        for den in num..10 {
+            for beta in [1u64, 3, 7] {
+                let rho = Rate::new(num, den);
+                let mut bucket = LeakyBucket::new(rho, Rate::integer(beta));
+                let rounds = rng.random_range(50..300);
+                let mut taken: Vec<u64> = Vec::with_capacity(rounds);
+                for _ in 0..rounds {
+                    let avail = bucket.refill();
+                    // how much of the available budget the adversary takes
+                    let want = match rng.random_range(0..3) {
+                        0 => 0,
+                        1 => avail / 2,
+                        _ => avail,
+                    };
+                    bucket.debit(want);
+                    taken.push(want as u64);
+                }
+                // exhaustive interval check (quadratic but small)
+                let prefix: Vec<u64> = std::iter::once(0)
+                    .chain(taken.iter().scan(0, |acc, &x| {
+                        *acc += x;
+                        Some(*acc)
+                    }))
+                    .collect();
+                for a in 0..taken.len() {
+                    for b in a + 1..=taken.len() {
+                        let injected = prefix[b] - prefix[a];
+                        let t = (b - a) as u128;
+                        // injected <= rho * t + beta, in exact arithmetic:
+                        // injected * den <= num * t + beta * den
+                        assert!(
+                            injected as u128 * den as u128
+                                <= num as u128 * t + beta as u128 * den as u128,
+                            "interval [{a},{b}): {injected} packets over {t} rounds \
+                             (rho={num}/{den}, beta={beta})"
+                        );
+                    }
+                }
             }
         }
     }
+}
 
-    #[test]
-    fn greedy_adversary_achieves_the_rate(
-        num in 1u64..10,
-        den in 1u64..10,
-        beta in 1u64..8,
-        rounds in 100u64..2_000,
-    ) {
-        prop_assume!(num <= den);
-        let rho = Rate::new(num, den);
-        let mut bucket = LeakyBucket::new(rho, Rate::integer(beta));
-        for _ in 0..rounds {
-            let avail = bucket.refill();
-            bucket.debit(avail);
+#[test]
+fn greedy_adversary_achieves_the_rate() {
+    let mut rng = SmallRng::seed_from_u64(0xb0c2);
+    for num in 1u64..10 {
+        for den in num..10 {
+            for beta in [1u64, 4, 7] {
+                let rho = Rate::new(num, den);
+                let mut bucket = LeakyBucket::new(rho, Rate::integer(beta));
+                let rounds = rng.random_range_u64(100..2_000);
+                for _ in 0..rounds {
+                    let avail = bucket.refill();
+                    bucket.debit(avail);
+                }
+                // total >= floor(rho * rounds): the budget is achievable,
+                // not just a cap
+                let floor_total = num * rounds / den;
+                assert!(
+                    bucket.injected_total() >= floor_total,
+                    "greedy total {} below rho*t = {floor_total} (rho={num}/{den}, beta={beta})",
+                    bucket.injected_total()
+                );
+            }
         }
-        // total >= floor(rho * rounds): the budget is achievable, not just a cap
-        let floor_total = num * rounds / den;
-        prop_assert!(
-            bucket.injected_total() >= floor_total,
-            "greedy total {} below rho*t = {floor_total}",
-            bucket.injected_total()
-        );
     }
 }

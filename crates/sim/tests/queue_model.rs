@@ -1,9 +1,9 @@
 //! Model-based property test: `IndexedQueue` against a naive reference
-//! implementation (a plain `Vec` in arrival order), driven by random
-//! operation sequences. Every query the algorithms rely on must agree.
+//! implementation (a plain `Vec` in arrival order), driven by random but
+//! seeded operation sequences. Every query the algorithms rely on must
+//! agree after every operation.
 
-use emac_sim::{IndexedQueue, Packet, PacketId, StationId};
-use proptest::prelude::*;
+use emac_sim::{IndexedQueue, Packet, PacketId, SmallRng, StationId};
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -12,14 +12,18 @@ enum Op {
     // queries run after every op
 }
 
-fn ops() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![
-            3 => (0usize..8, 0u64..100).prop_map(|(dest, arrived)| Op::Push { dest, arrived }),
-            1 => (0usize..64).prop_map(|index| Op::Remove { index }),
-        ],
-        1..120,
-    )
+fn random_ops(rng: &mut SmallRng) -> Vec<Op> {
+    let len = rng.random_range(1..120);
+    (0..len)
+        .map(|_| {
+            // pushes three times as likely as removals, as before
+            if rng.random_range(0..4) < 3 {
+                Op::Push { dest: rng.random_range(0..8), arrived: rng.random_range_u64(0..100) }
+            } else {
+                Op::Remove { index: rng.random_range(0..64) }
+            }
+        })
+        .collect()
 }
 
 /// The reference: packets in arrival order with their metadata.
@@ -52,9 +56,11 @@ impl Model {
     }
 }
 
-proptest! {
-    #[test]
-    fn queue_agrees_with_reference_model(ops in ops()) {
+#[test]
+fn queue_agrees_with_reference_model() {
+    let mut rng = SmallRng::seed_from_u64(0x0eee);
+    for _case in 0..64 {
+        let ops = random_ops(&mut rng);
         let n = 8;
         let mut q = IndexedQueue::new(n);
         let mut m = Model::default();
@@ -79,51 +85,47 @@ proptest! {
                         let id = m.items[index % m.items.len()].0.id;
                         let was_in_model = m.remove(id);
                         let removed = q.remove(id);
-                        prop_assert_eq!(was_in_model, removed.is_some());
+                        assert_eq!(was_in_model, removed.is_some());
                     }
                 }
             }
             // full agreement after every operation
-            prop_assert_eq!(q.len(), m.items.len());
+            assert_eq!(q.len(), m.items.len());
             let q_order: Vec<u64> = q.iter().map(|qp| qp.packet.id.0).collect();
             let m_order: Vec<u64> = m.items.iter().map(|(p, _)| p.id.0).collect();
-            prop_assert_eq!(q_order, m_order, "arrival order must match");
+            assert_eq!(q_order, m_order, "arrival order must match");
             for d in 0..n {
-                prop_assert_eq!(q.count_for(d), m.count_for(d));
+                assert_eq!(q.count_for(d), m.count_for(d));
             }
             for marker in [0u64, 5, 50, 1_000] {
-                prop_assert_eq!(q.count_old(marker), m.count_old(marker));
+                assert_eq!(q.count_old(marker), m.count_old(marker));
                 for d in 0..n {
-                    prop_assert_eq!(
+                    assert_eq!(
                         q.oldest_old_for(d, marker).map(|qp| qp.packet.id),
                         m.oldest_old_for(d, marker)
                     );
                 }
             }
-            prop_assert_eq!(
-                q.oldest().map(|qp| qp.packet.id.0),
-                m.items.first().map(|(p, _)| p.id.0)
-            );
-            prop_assert_eq!(
-                q.newest().map(|qp| qp.packet.id.0),
-                m.items.last().map(|(p, _)| p.id.0)
-            );
+            assert_eq!(q.oldest().map(|qp| qp.packet.id.0), m.items.first().map(|(p, _)| p.id.0));
+            assert_eq!(q.newest().map(|qp| qp.packet.id.0), m.items.last().map(|(p, _)| p.id.0));
         }
     }
+}
 
-    /// count_below agrees with summing count_for.
-    #[test]
-    fn count_below_is_prefix_sum(dests in proptest::collection::vec(0usize..6, 0..40)) {
+/// count_below agrees with summing count_for.
+#[test]
+fn count_below_is_prefix_sum() {
+    let mut rng = SmallRng::seed_from_u64(0x0eef);
+    for _case in 0..64 {
+        let len = rng.random_range(0..40);
+        let dests: Vec<usize> = (0..len).map(|_| rng.random_range(0..6)).collect();
         let mut q = IndexedQueue::new(6);
         for (i, &d) in dests.iter().enumerate() {
-            q.push(
-                Packet { id: PacketId(i as u64), dest: d, injected_round: 0, origin: 0 },
-                0,
-            );
+            q.push(Packet { id: PacketId(i as u64), dest: d, injected_round: 0, origin: 0 }, 0);
         }
         for d in 0..6 {
             let expected: usize = (0..d).map(|x| q.count_for(x)).sum();
-            prop_assert_eq!(q.count_below(d), expected);
+            assert_eq!(q.count_below(d), expected);
         }
     }
 }

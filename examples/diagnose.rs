@@ -14,14 +14,9 @@ fn main() {
     let n = 6;
 
     // Count-Hop at rate 1 with cap 2: provably unstable (Theorem 2).
-    let cfg = SimConfig::new(n, 2)
-        .adversary_type(Rate::one(), Rate::integer(2))
-        .sample_every(256);
-    let mut sim = Simulator::new(
-        cfg,
-        CountHop::new().build(n),
-        Box::new(SingleTarget::new(0, n - 2)),
-    );
+    let cfg = SimConfig::new(n, 2).adversary_type(Rate::one(), Rate::integer(2)).sample_every(256);
+    let mut sim =
+        Simulator::new(cfg, CountHop::new().build(n), Box::new(SingleTarget::new(0, n - 2)));
     sim.enable_trace(12);
     sim.run(120_000);
 
@@ -39,14 +34,9 @@ fn main() {
     );
 
     // Same traffic under Orchestra at cap 3: flat.
-    let cfg = SimConfig::new(n, 3)
-        .adversary_type(Rate::one(), Rate::integer(2))
-        .sample_every(256);
-    let mut sim = Simulator::new(
-        cfg,
-        Orchestra::new().build(n),
-        Box::new(SingleTarget::new(0, n - 2)),
-    );
+    let cfg = SimConfig::new(n, 3).adversary_type(Rate::one(), Rate::integer(2)).sample_every(256);
+    let mut sim =
+        Simulator::new(cfg, Orchestra::new().build(n), Box::new(SingleTarget::new(0, n - 2)));
     sim.run(120_000);
     println!("\n== Orchestra, n={n}, cap 3, same traffic ==\n");
     print!("{}", render_series(&sim.metrics().queue_series, 64, 8));

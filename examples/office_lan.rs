@@ -32,10 +32,7 @@ struct OfficeTraffic {
 
 impl OfficeTraffic {
     fn new() -> Self {
-        Self {
-            busy: Alternating::new((0, 5), (3, 1), 500),
-            quiet: Bursty::new(2, 2_000),
-        }
+        Self { busy: Alternating::new((0, 5), (3, 1), 500), quiet: Bursty::new(2, 2_000) }
     }
 }
 

@@ -3,23 +3,30 @@
 //! ```text
 //! emac run --alg count-hop --n 8 --rho 1/2 --beta 2 --rounds 100000 \
 //!          --adversary uniform --seed 7 [--drain 20000] [--trace 40]
+//! emac campaign spec.json [--threads N] [--out DIR]
+//! emac campaign --example
 //! emac list
 //! ```
 //!
-//! Prints the standard run report; exits non-zero if the run violates any
+//! `run` prints the standard run report; `campaign` executes a JSON
+//! scenario spec (see `emac campaign --example`) in parallel and writes
+//! structured JSON/CSV results. Both exit non-zero if any run violates a
 //! model invariant (useful in CI). All parsing and construction logic lives
-//! in [`emac::cli`].
+//! in [`emac::cli`] and [`emac::registry`].
 
+use std::path::Path;
 use std::process::ExitCode;
 
 use emac::cli;
+use emac::core::campaign::{parse_campaign_spec, Campaign};
 use emac::core::prelude::*;
-use emac::sim::Rate;
+use emac::registry::{Registry, ADVERSARIES, ALGORITHMS};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => run(&args[1..]),
+        Some("campaign") => campaign(&args[1..]),
         Some("list") => {
             list();
             ExitCode::SUCCESS
@@ -34,21 +41,127 @@ fn main() -> ExitCode {
 fn usage() {
     eprintln!(
         "usage:\n  emac run --alg <name> --n <N> [--k <K>] [--rho P/Q] [--beta B]\n           \
-         [--rounds R] [--adversary uniform|single-target|round-robin|bursty|sleeper]\n           \
-         [--seed S] [--drain R] [--trace N] [--cap C]\n  emac list"
+         [--rounds R] [--adversary <name>] [--seed S] [--drain R] [--trace N]\n           \
+         [--cap C] [--target S] [--dest S] [--period R] [--horizon R]\n  \
+         emac campaign <spec.json> [--threads N] [--out DIR]\n  \
+         emac campaign --example   # print a commented example spec\n  \
+         emac list"
     );
 }
 
 fn list() {
     println!("algorithms (--alg):");
-    println!("  orchestra       cap 3, stable at rho = 1 (queues <= 2n^3+beta)");
-    println!("  count-hop       cap 2, universal, latency O((n^2+beta)/(1-rho))");
-    println!("  adjust-window   cap 2, universal, plain packets");
-    println!("  k-cycle         cap k (--k), oblivious, rho < (k-1)/(n-1)");
-    println!("  k-clique        cap k, oblivious direct");
-    println!("  k-subsets       cap k, oblivious direct, optimal rate k(k-1)/(n(n-1))");
-    println!("  k-subsets-rrw   bounded-latency variant");
-    println!("  duty-cycle      uncoordinated baseline (loses packets by design)");
+    for (name, what) in ALGORITHMS {
+        println!("  {name:<15} {what}");
+    }
+    println!("adversaries (--adversary):");
+    for (name, what) in ADVERSARIES {
+        println!("  {name:<15} {what}");
+    }
+}
+
+const EXAMPLE_SPEC: &str = r#"{
+  "scenarios": [
+    {"label": "one-off run", "algorithm": "count-hop", "adversary": "uniform",
+     "n": 8, "rho": "1/2", "beta": "2", "rounds": 100000, "drain": 20000, "seed": 7}
+  ],
+  "grids": [
+    {"algorithms": ["k-cycle", "k-clique"], "adversaries": ["uniform"],
+     "n": [9, 13], "k": [3, 4], "rho": ["1/5", "1/4"], "beta": ["2"],
+     "rounds": 100000, "seeds": [1, 2]}
+  ]
+}"#;
+
+fn campaign(args: &[String]) -> ExitCode {
+    if args.first().map(String::as_str) == Some("--example") {
+        println!("{EXAMPLE_SPEC}");
+        return ExitCode::SUCCESS;
+    }
+    let mut spec_path: Option<&str> = None;
+    let mut threads: Option<usize> = None;
+    let mut out_dir = String::from("results/campaign");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threads" => {
+                threads = match it.next().map(|v| v.parse()) {
+                    Some(Ok(t)) => Some(t),
+                    _ => {
+                        eprintln!("error: --threads needs a positive integer");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--out" => {
+                out_dir = match it.next() {
+                    Some(v) => v.clone(),
+                    None => {
+                        eprintln!("error: --out needs a directory");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            path if spec_path.is_none() && !path.starts_with("--") => spec_path = Some(path),
+            other => {
+                eprintln!("error: unexpected argument {other}");
+                usage();
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(spec_path) = spec_path else {
+        eprintln!("error: campaign needs a spec file (try `emac campaign --example`)");
+        usage();
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(spec_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {spec_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let specs = match parse_campaign_spec(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {spec_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut executor = Campaign::new();
+    if let Some(t) = threads {
+        executor = executor.threads(t);
+    }
+    eprintln!("running {} scenarios...", specs.len());
+    let result = executor.run(&specs, &Registry);
+
+    for run in &result.runs {
+        match &run.outcome {
+            Ok(report) => println!(
+                "{:<64} latency {:>8} queue {:>8} {:<11} {}",
+                run.spec.display_label(),
+                report.latency(),
+                report.max_queue(),
+                format!("{:?}", report.stability.verdict),
+                if report.clean() { "clean" } else { "VIOLATIONS" },
+            ),
+            Err(e) => println!("{:<64} ERROR {e}", run.spec.display_label()),
+        }
+    }
+    println!("{}", result.summary());
+
+    if let Err(e) = result.write_files(Path::new(&out_dir)) {
+        eprintln!("error: writing results to {out_dir}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_dir}/campaign.json and {out_dir}/campaign.csv");
+
+    if result.all_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn run(args: &[String]) -> ExitCode {
@@ -60,22 +173,35 @@ fn run(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let (alg, adversary) = match cli::make_algorithm(&opts).and_then(|a| {
-        cli::make_adversary(&opts).map(|adv| (a, adv))
-    }) {
-        Ok(pair) => pair,
+    let alg = match cli::make_algorithm(&opts) {
+        Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::from(2);
         }
     };
+    let spec = opts.to_spec();
 
     // Tracing requires direct simulator access; otherwise use the runner.
+    // Both paths hand the algorithm's schedule (when oblivious) to the
+    // registry, so schedule-aware adversaries work here too.
     if let Some(capacity) = opts.trace {
-        use emac::sim::{SimConfig, Simulator};
+        use emac::sim::{SimConfig, Simulator, WakeMode};
         let cap = opts.cap.unwrap_or_else(|| alg.required_cap(opts.n));
-        let cfg = SimConfig::new(opts.n, cap).adversary_type(opts.rho, Rate::integer(opts.beta));
-        let mut sim = Simulator::new(cfg, alg.build(opts.n), adversary);
+        let cfg = SimConfig::new(opts.n, cap).adversary_type(opts.rho, opts.beta);
+        let built = alg.build(opts.n);
+        let schedule = match &built.wake {
+            WakeMode::Scheduled(s) => Some(s.clone()),
+            WakeMode::Adaptive => None,
+        };
+        let adversary = match Registry::make_adversary(&spec, schedule.as_ref()) {
+            Ok(adv) => adv,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let mut sim = Simulator::new(cfg, built, adversary);
         sim.enable_trace(capacity);
         sim.run(opts.rounds);
         println!("last {capacity} rounds:");
@@ -98,7 +224,14 @@ fn run(args: &[String]) -> ExitCode {
     if let Some(c) = opts.cap {
         runner = runner.cap(c);
     }
-    let report = runner.run(alg.as_ref(), adversary);
+    let report = match runner.try_run_against(alg.as_ref(), |s| Registry::make_adversary(&spec, s))
+    {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
     println!("{report}");
     if report.clean() {
         ExitCode::SUCCESS

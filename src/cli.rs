@@ -1,11 +1,15 @@
 //! Argument parsing and object construction for the `emac` CLI binary.
 //!
-//! Kept in the library so the mapping from names to algorithms/adversaries
-//! is unit-testable; the binary in `src/bin/emac.rs` only does I/O.
+//! Kept in the library so the mapping from flags to scenarios is
+//! unit-testable; the binary in `src/bin/emac.rs` only does I/O. Name
+//! resolution itself lives in [`crate::registry`] — the same registry the
+//! campaign executor and the bench binaries use.
 
-use emac_adversary::{Bursty, RoundRobinLoad, SingleTarget, SleeperTargeting, UniformRandom};
+use emac_core::campaign::ScenarioSpec;
 use emac_core::prelude::*;
 use emac_sim::{Adversary, Rate};
+
+use crate::registry::Registry;
 
 /// Parsed command-line options for `emac run`.
 #[derive(Clone, Debug)]
@@ -18,8 +22,8 @@ pub struct Opts {
     pub k: usize,
     /// Injection rate ρ.
     pub rho: Rate,
-    /// Burstiness β.
-    pub beta: u64,
+    /// Burstiness β (general rational; `--beta 3/2` is legal).
+    pub beta: Rate,
     /// Rounds to simulate.
     pub rounds: u64,
     /// Adversary name.
@@ -32,6 +36,14 @@ pub struct Opts {
     pub trace: Option<usize>,
     /// Optional energy-cap override.
     pub cap: Option<usize>,
+    /// Injection station for targeted adversaries.
+    pub target: Option<usize>,
+    /// Destination station for targeted adversaries.
+    pub dest: Option<usize>,
+    /// Burst period for periodic adversaries.
+    pub period: Option<u64>,
+    /// Schedule-analysis horizon for the attack adversaries.
+    pub horizon: Option<u64>,
 }
 
 impl Default for Opts {
@@ -41,14 +53,38 @@ impl Default for Opts {
             n: 8,
             k: 3,
             rho: Rate::new(1, 2),
-            beta: 1,
+            beta: Rate::integer(1),
             rounds: 100_000,
             adversary: "uniform".into(),
             seed: 42,
             drain: None,
             trace: None,
             cap: None,
+            target: None,
+            dest: None,
+            period: None,
+            horizon: None,
         }
+    }
+}
+
+impl Opts {
+    /// The scenario these options describe.
+    pub fn to_spec(&self) -> ScenarioSpec {
+        let mut spec = ScenarioSpec::new(self.alg.clone(), self.adversary.clone());
+        spec.n = self.n;
+        spec.k = self.k;
+        spec.rho = self.rho;
+        spec.beta = self.beta;
+        spec.rounds = self.rounds;
+        spec.drain = self.drain;
+        spec.cap = self.cap;
+        spec.seed = self.seed;
+        spec.target = self.target;
+        spec.dest = self.dest;
+        spec.period = self.period;
+        spec.horizon = self.horizon;
+        spec
     }
 }
 
@@ -64,13 +100,19 @@ pub fn parse(args: &[String]) -> Result<Opts, String> {
             "--n" => o.n = value()?.parse().map_err(|e| format!("--n: {e}"))?,
             "--k" => o.k = value()?.parse().map_err(|e| format!("--k: {e}"))?,
             "--rho" => o.rho = parse_rate(value()?)?,
-            "--beta" => o.beta = value()?.parse().map_err(|e| format!("--beta: {e}"))?,
+            "--beta" => o.beta = parse_beta(value()?)?,
             "--rounds" => o.rounds = value()?.parse().map_err(|e| format!("--rounds: {e}"))?,
             "--adversary" => o.adversary = value()?.to_string(),
             "--seed" => o.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--drain" => o.drain = Some(value()?.parse().map_err(|e| format!("--drain: {e}"))?),
             "--trace" => o.trace = Some(value()?.parse().map_err(|e| format!("--trace: {e}"))?),
             "--cap" => o.cap = Some(value()?.parse().map_err(|e| format!("--cap: {e}"))?),
+            "--target" => o.target = Some(value()?.parse().map_err(|e| format!("--target: {e}"))?),
+            "--dest" => o.dest = Some(value()?.parse().map_err(|e| format!("--dest: {e}"))?),
+            "--period" => o.period = Some(value()?.parse().map_err(|e| format!("--period: {e}"))?),
+            "--horizon" => {
+                o.horizon = Some(value()?.parse().map_err(|e| format!("--horizon: {e}"))?)
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -85,52 +127,31 @@ pub fn parse(args: &[String]) -> Result<Opts, String> {
 
 /// Parse a rate given as `P/Q`, `1`, or a decimal in `[0, 1]`.
 pub fn parse_rate(s: &str) -> Result<Rate, String> {
-    if let Some((p, q)) = s.split_once('/') {
-        let p: u64 = p.parse().map_err(|e| format!("rate: {e}"))?;
-        let q: u64 = q.parse().map_err(|e| format!("rate: {e}"))?;
-        if q == 0 {
-            return Err("rate denominator is zero".into());
-        }
-        if p > q {
-            return Err("rate must be within [0, 1]".into());
-        }
-        Ok(Rate::new(p, q))
-    } else if s == "1" {
-        Ok(Rate::one())
-    } else {
-        let v: f64 = s.parse().map_err(|e| format!("rate: {e}"))?;
-        if !(0.0..=1.0).contains(&v) {
-            return Err("rate must be within [0, 1]".into());
-        }
-        Ok(Rate::new((v * 10_000.0).round() as u64, 10_000))
+    let rate: Rate = s.parse()?;
+    if Rate::one().lt(&rate) {
+        return Err("rate must be within [0, 1]".into());
     }
+    Ok(rate)
 }
 
-/// Construct the algorithm named by the options.
+/// Parse a burstiness coefficient: like a rate, but any non-negative
+/// rational is legal (β regularly exceeds 1).
+pub fn parse_beta(s: &str) -> Result<Rate, String> {
+    s.parse()
+}
+
+/// Construct the algorithm named by the options (via [`Registry`]).
 pub fn make_algorithm(o: &Opts) -> Result<Box<dyn Algorithm>, String> {
-    Ok(match o.alg.as_str() {
-        "orchestra" => Box::new(Orchestra::new()),
-        "count-hop" => Box::new(CountHop::new()),
-        "adjust-window" => Box::new(AdjustWindow::new()),
-        "k-cycle" => Box::new(KCycle::new(o.k)),
-        "k-clique" => Box::new(KClique::new(o.k)),
-        "k-subsets" => Box::new(KSubsets::new(o.k)),
-        "k-subsets-rrw" => Box::new(KSubsets::with_rrw(o.k)),
-        "duty-cycle" => Box::new(DutyCycle::seeded(o.k, o.seed)),
-        other => return Err(format!("unknown algorithm {other} (see `emac list`)")),
-    })
+    Registry::make_algorithm(&o.to_spec())
 }
 
-/// Construct the adversary named by the options.
+/// Construct the adversary named by the options without a schedule (via
+/// [`Registry`]). The binary's `run` path instead wires the algorithm's
+/// schedule through [`Registry::make_adversary`], so schedule-aware
+/// adversaries work there; this schedule-less form rejects them and exists
+/// for validation and tests.
 pub fn make_adversary(o: &Opts) -> Result<Box<dyn Adversary>, String> {
-    Ok(match o.adversary.as_str() {
-        "uniform" => Box::new(UniformRandom::new(o.seed)),
-        "single-target" => Box::new(SingleTarget::new(0, o.n - 1)),
-        "round-robin" => Box::new(RoundRobinLoad::new()),
-        "bursty" => Box::new(Bursty::new(0, 64)),
-        "sleeper" => Box::new(SleeperTargeting::new()),
-        other => return Err(format!("unknown adversary {other}")),
-    })
+    Registry::make_adversary(&o.to_spec(), None)
 }
 
 #[cfg(test)]
@@ -149,12 +170,29 @@ mod tests {
         ))
         .unwrap();
         assert_eq!(o.alg, "k-cycle");
-        assert_eq!((o.n, o.k, o.beta, o.rounds, o.seed), (9, 3, 4, 5000, 9));
+        assert_eq!((o.n, o.k, o.rounds, o.seed), (9, 3, 5000, 9));
         assert_eq!(o.rho, Rate::new(1, 5));
+        assert_eq!(o.beta, Rate::integer(4));
         assert_eq!(o.drain, Some(1000));
         assert_eq!(o.cap, Some(4));
         assert!(make_algorithm(&o).is_ok());
         assert!(make_adversary(&o).is_ok());
+    }
+
+    #[test]
+    fn opts_convert_to_scenario_spec() {
+        let o = parse(&argv(
+            "--alg k-clique --n 8 --k 4 --rho 1/10 --beta 3/2 --rounds 777 \
+             --adversary bursty --target 2 --period 32 --seed 5",
+        ))
+        .unwrap();
+        let spec = o.to_spec();
+        assert_eq!(spec.algorithm, "k-clique");
+        assert_eq!(spec.adversary, "bursty");
+        assert_eq!((spec.n, spec.k, spec.rounds, spec.seed), (8, 4, 777, 5));
+        assert_eq!(spec.beta, Rate::new(3, 2));
+        assert_eq!(spec.target, Some(2));
+        assert_eq!(spec.period, Some(32));
     }
 
     #[test]
@@ -166,6 +204,10 @@ mod tests {
         assert!(parse_rate("2.0").is_err());
         assert!(parse_rate("x").is_err());
         assert!(parse_rate("1/0").is_err());
+        // beta may exceed 1
+        assert_eq!(parse_beta("3/2").unwrap(), Rate::new(3, 2));
+        assert_eq!(parse_beta("4").unwrap(), Rate::integer(4));
+        assert!(parse_beta("x").is_err());
     }
 
     #[test]
@@ -184,9 +226,11 @@ mod tests {
     fn every_listed_algorithm_constructs() {
         for alg in [
             "orchestra",
+            "orchestra-nomb",
             "count-hop",
             "adjust-window",
             "k-cycle",
+            "k-cycle:1/2",
             "k-clique",
             "k-subsets",
             "k-subsets-rrw",

@@ -27,6 +27,7 @@ pub use emac_core as core;
 pub use emac_sim as sim;
 
 pub mod cli;
+pub mod registry;
 
 /// Convenience re-exports covering the common experiment workflow.
 pub mod prelude {

@@ -18,9 +18,7 @@ fn k_cycle_slope(rho: Rate) -> f64 {
         .rate(rho)
         .beta(2)
         .rounds(150_000)
-        .run_against(&alg, |s| {
-            Box::new(LeastOnStation::new(s.expect("oblivious"), N, horizon))
-        })
+        .run_against(&alg, |s| Box::new(LeastOnStation::new(s.expect("oblivious"), N, horizon)))
         .stability
         .slope
 }
