@@ -42,6 +42,7 @@ pub mod bounds;
 pub mod campaign;
 pub mod combinatorics;
 pub mod count_hop;
+pub mod digest;
 pub mod k_clique;
 pub mod k_cycle;
 pub mod k_subsets;
@@ -54,6 +55,7 @@ pub use algorithm::Algorithm;
 pub use baseline::DutyCycle;
 pub use campaign::{Campaign, CampaignResult, Grid, ScenarioFactory, ScenarioRun, ScenarioSpec};
 pub use count_hop::CountHop;
+pub use digest::{report_digest, report_digest_hex, Fnv64};
 pub use k_clique::KClique;
 pub use k_cycle::KCycle;
 pub use k_subsets::{KSubsets, ThreadSubroutine};
@@ -69,6 +71,7 @@ pub mod prelude {
     pub use crate::bounds;
     pub use crate::campaign::{Campaign, CampaignResult, Grid, ScenarioFactory, ScenarioSpec};
     pub use crate::count_hop::CountHop;
+    pub use crate::digest::{report_digest, report_digest_hex};
     pub use crate::k_clique::KClique;
     pub use crate::k_cycle::KCycle;
     pub use crate::k_subsets::{KSubsets, ThreadSubroutine};

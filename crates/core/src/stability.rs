@@ -107,4 +107,66 @@ mod tests {
         let m = metrics_with_series((0..200).map(|i| (i * 100, 30 + (i % 7) * 10)));
         assert_eq!(classify(&m).verdict, Verdict::Stable);
     }
+
+    #[test]
+    fn short_run_guard_boundary_is_exactly_sixteen_samples() {
+        // A steeply diverging series: 15 samples is still "too short to
+        // say", the 16th sample is the first that yields a verdict.
+        let steep = |len: u64| metrics_with_series((0..len).map(|i| (i * 100, 50 * i)));
+        assert_eq!(classify(&steep(15)).verdict, Verdict::Inconclusive);
+        assert_eq!(classify(&steep(16)).verdict, Verdict::Diverging);
+        // Same boundary for a flat series resolving to Stable.
+        let flat = |len: u64| metrics_with_series((0..len).map(|i| (i * 100, 42)));
+        assert_eq!(classify(&flat(15)).verdict, Verdict::Inconclusive);
+        assert_eq!(classify(&flat(16)).verdict, Verdict::Stable);
+    }
+
+    #[test]
+    fn slope_exactly_at_threshold_counts_as_stable() {
+        // Growth of 1 packet per 200 rounds gives a least-squares slope of
+        // exactly STABLE_SLOPE = 0.005; the verdict uses a strict `>`, so
+        // the threshold itself is still Stable. One packet more per step
+        // tips it over.
+        let at = metrics_with_series((0..32).map(|i| (i * 200, i)));
+        let r = classify(&at);
+        assert_eq!(r.slope, STABLE_SLOPE);
+        assert_eq!(r.verdict, Verdict::Stable);
+        let above = metrics_with_series((0..32).map(|i| (i * 200, 2 * i)));
+        assert_eq!(classify(&above).verdict, Verdict::Diverging);
+    }
+
+    #[test]
+    fn backlog_and_max_queue_come_from_metrics() {
+        let mut m = metrics_with_series((0..20).map(|i| (i * 100, 10)));
+        m.injected = 120;
+        m.delivered = 100;
+        let r = classify(&m);
+        assert_eq!(r.backlog, 20);
+        assert_eq!(r.max_queued, 10);
+    }
+
+    #[test]
+    fn engine_sample_rounds_are_monotone_and_evenly_spaced() {
+        // The verdict machinery assumes the queue series is sampled at
+        // strictly increasing, evenly spaced rounds; pin the engine's
+        // sampling contract end to end.
+        use crate::count_hop::CountHop;
+        use crate::runner::Runner;
+        use emac_adversary::UniformRandom;
+        use emac_sim::Rate;
+
+        let report = Runner::new(4)
+            .rate(Rate::new(1, 2))
+            .beta(1)
+            .rounds(10_000)
+            .run(&CountHop::new(), Box::new(UniformRandom::new(3)));
+        let series = &report.metrics.queue_series;
+        // sample_every derives to max(rounds/2048, 1) = 4 in Runner.
+        assert_eq!(series.first().map(|s| s.round), Some(0));
+        assert!(series.len() >= 16, "long runs must clear the short-run guard");
+        for w in series.windows(2) {
+            assert_eq!(w[1].round - w[0].round, 4, "evenly spaced, strictly increasing");
+        }
+        assert_ne!(classify(&report.metrics).verdict, Verdict::Inconclusive);
+    }
 }

@@ -45,6 +45,11 @@ impl DelayStats {
         self.max
     }
 
+    /// Sum of all recorded delays (exact; feeds the determinism digests).
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
     /// Mean delay.
     pub fn mean(&self) -> f64 {
         if self.count == 0 {

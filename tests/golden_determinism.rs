@@ -1,0 +1,177 @@
+//! Golden determinism tests: byte-identical executions, pinned by digest.
+//!
+//! Every scenario in the matrix below folds its entire [`RunReport`] —
+//! metrics, queue series, per-station counters, delay histogram,
+//! violations, stability verdict — into a 64-bit FNV-1a digest
+//! (`emac_core::digest`). The expected values were produced once and are
+//! committed; any change to the engine, the queues, the schedules, or the
+//! adversaries that alters even one observable of one execution fails here.
+//!
+//! This is the safety net under hot-path refactoring: an allocation-free
+//! rewrite of the round loop must reproduce these digests exactly.
+//!
+//! To re-pin after an *intentional* semantic change, run
+//! `cargo test --test golden_determinism -- --nocapture` and copy the
+//! printed table (and justify the change in the commit).
+
+use emac::registry::Registry;
+use emac_core::campaign::{Campaign, ScenarioSpec};
+use emac_core::digest::report_digest_hex;
+use emac_sim::Rate;
+
+const N: usize = 8;
+const K: usize = 4;
+const ROUNDS: u64 = 4_096;
+
+/// The pinned seed matrix: every registry algorithm × adversaries that
+/// apply to it × β ∈ {1, 3/2}.
+fn matrix() -> Vec<ScenarioSpec> {
+    let algorithms: &[&str] = &[
+        "orchestra",
+        "orchestra-nomb",
+        "count-hop",
+        "adjust-window",
+        "k-cycle",
+        "k-cycle:1/2",
+        "k-clique",
+        "k-subsets",
+        "k-subsets-rrw",
+        "duty-cycle",
+    ];
+    // The schedule-aware lower-bound adversaries only apply to the
+    // energy-oblivious algorithms.
+    let oblivious: &[&str] =
+        &["k-cycle", "k-cycle:1/2", "k-clique", "k-subsets", "k-subsets-rrw", "duty-cycle"];
+    let betas = [Rate::integer(1), Rate::new(3, 2)];
+    let mut specs = Vec::new();
+    for &alg in algorithms {
+        let mut adversaries = vec!["uniform", "round-robin"];
+        if oblivious.contains(&alg) {
+            adversaries.push("least-on");
+        }
+        for adv in adversaries {
+            for beta in betas {
+                specs.push(
+                    ScenarioSpec::new(alg, adv)
+                        .n(N)
+                        .k(K)
+                        .rho(Rate::new(1, 8))
+                        .beta(beta)
+                        .rounds(ROUNDS)
+                        .seed(7)
+                        .horizon(2_000)
+                        .label(format!("{alg}|{adv}|beta={}/{}", beta.num(), beta.den())),
+                );
+            }
+        }
+    }
+    specs
+}
+
+/// Pinned digests, one per matrix entry, in matrix order.
+const GOLDEN: &[(&str, &str)] = &[
+    ("orchestra|uniform|beta=1/1", "0266885699dc3983"),
+    ("orchestra|uniform|beta=3/2", "2677f29c346febe7"),
+    ("orchestra|round-robin|beta=1/1", "42bb0f8bfbd11c92"),
+    ("orchestra|round-robin|beta=3/2", "2c1e865cda045cc8"),
+    ("orchestra-nomb|uniform|beta=1/1", "e78435567e0e8e02"),
+    ("orchestra-nomb|uniform|beta=3/2", "25b6782faf8a7e92"),
+    ("orchestra-nomb|round-robin|beta=1/1", "8909f77b5ff159b7"),
+    ("orchestra-nomb|round-robin|beta=3/2", "7ec4abaeba1b92a1"),
+    ("count-hop|uniform|beta=1/1", "ee5302b9ce623892"),
+    ("count-hop|uniform|beta=3/2", "bb9b175444eaf2e5"),
+    ("count-hop|round-robin|beta=1/1", "2981a5f41c82918f"),
+    ("count-hop|round-robin|beta=3/2", "aa6b3a0d7478cf6e"),
+    ("adjust-window|uniform|beta=1/1", "4d8696811e41aaf2"),
+    ("adjust-window|uniform|beta=3/2", "365cfc3e7df25caa"),
+    ("adjust-window|round-robin|beta=1/1", "ccc21d72215b551d"),
+    ("adjust-window|round-robin|beta=3/2", "0b9f3d7072e9d345"),
+    ("k-cycle|uniform|beta=1/1", "e927971c99ab3496"),
+    ("k-cycle|uniform|beta=3/2", "9d940580e916952e"),
+    ("k-cycle|round-robin|beta=1/1", "4f91c065cad1fb96"),
+    ("k-cycle|round-robin|beta=3/2", "a661cff3dfafaab9"),
+    ("k-cycle|least-on|beta=1/1", "56f1eceef0593547"),
+    ("k-cycle|least-on|beta=3/2", "49b400e7c7ea225d"),
+    ("k-cycle:1/2|uniform|beta=1/1", "b9d22468b4b3029d"),
+    ("k-cycle:1/2|uniform|beta=3/2", "75ee9eab53afdfa0"),
+    ("k-cycle:1/2|round-robin|beta=1/1", "e3354316afc54fa8"),
+    ("k-cycle:1/2|round-robin|beta=3/2", "ccc15f0faa5aaa1d"),
+    ("k-cycle:1/2|least-on|beta=1/1", "8e512f295a33b944"),
+    ("k-cycle:1/2|least-on|beta=3/2", "b9d859619651c09b"),
+    ("k-clique|uniform|beta=1/1", "5eb56210e1ae674a"),
+    ("k-clique|uniform|beta=3/2", "fd6e5c885cfd89b4"),
+    ("k-clique|round-robin|beta=1/1", "8f31eec0c5d1ffe6"),
+    ("k-clique|round-robin|beta=3/2", "aee93f589edb2124"),
+    ("k-clique|least-on|beta=1/1", "7aaf273485f2763c"),
+    ("k-clique|least-on|beta=3/2", "53c53b8e3b9e1a90"),
+    ("k-subsets|uniform|beta=1/1", "dc23c1b3c1a197e9"),
+    ("k-subsets|uniform|beta=3/2", "168a57ba53e34f24"),
+    ("k-subsets|round-robin|beta=1/1", "c8d5ca4067e61f19"),
+    ("k-subsets|round-robin|beta=3/2", "a88bdc7e1ddfcbd9"),
+    ("k-subsets|least-on|beta=1/1", "944f8c124c35c2ab"),
+    ("k-subsets|least-on|beta=3/2", "7a6bc1cac355225e"),
+    ("k-subsets-rrw|uniform|beta=1/1", "62548d933cf170c8"),
+    ("k-subsets-rrw|uniform|beta=3/2", "5e4fd3c1fb519ebd"),
+    ("k-subsets-rrw|round-robin|beta=1/1", "f38d18c3d9d526bc"),
+    ("k-subsets-rrw|round-robin|beta=3/2", "0b33aaa919b10ffe"),
+    ("k-subsets-rrw|least-on|beta=1/1", "8ebe45c9535f4055"),
+    ("k-subsets-rrw|least-on|beta=3/2", "971e6eee95185dbe"),
+    ("duty-cycle|uniform|beta=1/1", "53657255bd072610"),
+    ("duty-cycle|uniform|beta=3/2", "a2fb235efafa8110"),
+    ("duty-cycle|round-robin|beta=1/1", "89f1ef5d86d7a30d"),
+    ("duty-cycle|round-robin|beta=3/2", "95a0f622ea6c336d"),
+    ("duty-cycle|least-on|beta=1/1", "25a09759c81535d8"),
+    ("duty-cycle|least-on|beta=3/2", "d5d47104483c7022"),
+];
+
+#[test]
+fn run_report_digests_match_golden() {
+    let specs = matrix();
+    let result = Campaign::new().threads(4).run(&specs, &Registry);
+    assert_eq!(result.first_error(), None, "every golden scenario must run");
+    let actual: Vec<(String, String)> = result
+        .runs
+        .iter()
+        .map(|run| {
+            let report = run.outcome.as_ref().expect("checked above");
+            (run.spec.display_label(), report_digest_hex(report))
+        })
+        .collect();
+    let expected: Vec<(String, String)> =
+        GOLDEN.iter().map(|&(l, d)| (l.to_string(), d.to_string())).collect();
+    if actual != expected {
+        println!("const GOLDEN: &[(&str, &str)] = &[");
+        for (label, digest) in &actual {
+            println!("    ({label:?}, {digest:?}),");
+        }
+        println!("];");
+        let divergent: Vec<&str> = actual
+            .iter()
+            .zip(expected.iter())
+            .filter(|(a, e)| a != e)
+            .map(|(a, _)| a.0.as_str())
+            .collect();
+        panic!(
+            "{} of {} golden digests diverged (first: {:?}); \
+             full re-pin table printed above",
+            divergent
+                .len()
+                .max((actual.len() as i64 - expected.len() as i64).unsigned_abs() as usize),
+            actual.len(),
+            divergent.first()
+        );
+    }
+}
+
+#[test]
+fn digests_are_stable_across_repeated_runs_and_thread_counts() {
+    // A slice of the matrix, run serially and in parallel: identical digests.
+    let specs: Vec<ScenarioSpec> = matrix().into_iter().take(6).collect();
+    let serial = Campaign::new().threads(1).run(&specs, &Registry);
+    let parallel = Campaign::new().threads(4).run(&specs, &Registry);
+    let d = |r: &emac_core::campaign::CampaignResult| -> Vec<String> {
+        r.reports().map(report_digest_hex).collect()
+    };
+    assert_eq!(d(&serial), d(&parallel));
+    assert_eq!(d(&serial), d(&Campaign::new().threads(1).run(&specs, &Registry)));
+}
