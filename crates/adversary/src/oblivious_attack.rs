@@ -35,8 +35,10 @@ impl LeastOnStation {
     /// schedule's period when one exists.
     pub fn new(schedule: &Arc<dyn OnSchedule>, n: usize, horizon: Round) -> Self {
         let mut counts = vec![0u64; n];
+        let mut on = Vec::with_capacity(n);
         for r in 0..horizon {
-            for s in schedule.on_set(n, r) {
+            schedule.on_set_into(n, r, &mut on);
+            for &s in &on {
                 counts[s] += 1;
             }
         }
@@ -77,8 +79,9 @@ impl LeastOnPair {
     /// co-scheduled ordered pair of distinct stations.
     pub fn new(schedule: &Arc<dyn OnSchedule>, n: usize, horizon: Round) -> Self {
         let mut co = vec![0u64; n * n];
+        let mut on = Vec::with_capacity(n);
         for r in 0..horizon {
-            let on = schedule.on_set(n, r);
+            schedule.on_set_into(n, r, &mut on);
             for &a in &on {
                 for &b in &on {
                     if a != b {

@@ -5,57 +5,80 @@
 //! ```text
 //! cargo bench -p emac-bench --bench bench_engine
 //! EMAC_BENCH_ITERS=10 cargo bench -p emac-bench --bench bench_engine
+//! cargo bench -p emac-bench --bench bench_engine -- --smoke --json BENCH_engine.json
 //! ```
+//!
+//! `--smoke` shrinks the run for CI (fewer rounds per call); `--json PATH`
+//! writes the measured results as a machine-readable baseline so future
+//! changes can be compared against the committed `BENCH_engine.json`.
 
 use std::hint::black_box;
 
 use emac_adversary::UniformRandom;
-use emac_bench::timing::bench;
+use emac_bench::timing::{bench, write_json, BenchResult};
 use emac_broadcast::{build_mbtf, build_of_rrw, build_rrw};
 use emac_core::prelude::*;
 use emac_sim::{BuiltAlgorithm, NoInjections, Rate, SimConfig, Simulator};
 
 const ROUNDS: u64 = 50_000;
+const SMOKE_ROUNDS: u64 = 5_000;
 
 type Builder = fn(usize) -> BuiltAlgorithm;
 
-fn engine_rounds() {
-    println!("engine: {ROUNDS} rounds per call");
+fn engine_rounds(rounds: u64, results: &mut Vec<BenchResult>) {
+    println!("engine: {rounds} rounds per call");
     let cases: [(&str, Builder); 3] =
         [("rrw_n8", build_rrw), ("of_rrw_n8", build_of_rrw), ("mbtf_n8", build_mbtf)];
     for (name, build) in cases {
-        bench(name, ROUNDS, || {
+        results.push(bench(name, rounds, || {
             let cfg = SimConfig::new(8, 8).adversary_type(Rate::new(3, 4), Rate::integer(2));
             let mut sim = Simulator::new(cfg, build(8), Box::new(UniformRandom::new(1)));
-            sim.run(ROUNDS);
+            sim.run(rounds);
             assert!(sim.violations().is_clean());
             black_box(sim.metrics().delivered);
-        });
+        }));
     }
 }
 
-fn sleeping_stations() {
+fn sleeping_stations(rounds: u64, results: &mut Vec<BenchResult>) {
     // Energy-capped algorithms keep all but cap stations asleep; per-round
     // cost should be dominated by the awake set, not n.
-    println!("sleeping: {ROUNDS} rounds per call");
-    bench("counthop_idle_n16", ROUNDS, || {
+    println!("sleeping: {rounds} rounds per call");
+    results.push(bench("counthop_idle_n16", rounds, || {
         let cfg = SimConfig::new(16, 2);
         let mut sim = Simulator::new(cfg, CountHop::new().build(16), Box::new(NoInjections));
-        sim.run(ROUNDS);
+        sim.run(rounds);
         black_box(sim.metrics().energy_total);
-    });
-    bench("kcycle_loaded_n16_k4", ROUNDS, || {
+    }));
+    results.push(bench("kcycle_loaded_n16_k4", rounds, || {
         let rho = bounds::k_cycle_rate_threshold(16, 4).scaled(4, 5);
         let cfg = SimConfig::new(16, 4).adversary_type(rho, Rate::integer(2));
         let mut sim =
             Simulator::new(cfg, KCycle::new(4).build(16), Box::new(UniformRandom::new(2)));
-        sim.run(ROUNDS);
+        sim.run(rounds);
         assert!(sim.violations().is_clean());
         black_box(sim.metrics().delivered);
-    });
+    }));
 }
 
 fn main() {
-    engine_rounds();
-    sleeping_stations();
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json_path = args.iter().position(|a| a == "--json").map(|i| {
+        let path = args.get(i + 1).expect("--json needs a path");
+        assert!(!path.starts_with("--"), "--json needs a path, got flag {path:?}");
+        path.clone()
+    });
+    let rounds = if smoke { SMOKE_ROUNDS } else { ROUNDS };
+
+    let mut results = Vec::new();
+    engine_rounds(rounds, &mut results);
+    sleeping_stations(rounds, &mut results);
+
+    if let Some(path) = json_path {
+        let path = std::path::PathBuf::from(path);
+        let meta = [("rounds_per_call", rounds), ("smoke", u64::from(smoke))];
+        write_json(&path, "bench_engine", &meta, &results).expect("write bench JSON");
+        println!("wrote {}", path.display());
+    }
 }

@@ -5,8 +5,14 @@
 //! std-only harness instead: warm up once, time `EMAC_BENCH_ITERS`
 //! iterations (default 3), report min/median/mean. Registered with
 //! `harness = false`, so `cargo bench -p emac-bench` runs them directly.
+//!
+//! Results can also be captured as [`BenchResult`] records and written to a
+//! JSON file ([`write_json`]) so CI can archive a throughput baseline per
+//! commit (see `BENCH_engine.json` at the repository root).
 
 use std::time::{Duration, Instant};
+
+use emac_core::campaign::json::Json;
 
 /// Number of timed iterations, from `EMAC_BENCH_ITERS` (default 3).
 pub fn iterations() -> u32 {
@@ -17,9 +23,50 @@ pub fn iterations() -> u32 {
         .unwrap_or(3)
 }
 
-/// Time `f` and print one result line. `work_items` scales the per-item
-/// throughput column (e.g. simulated rounds per call); pass 0 to omit it.
-pub fn bench(name: &str, work_items: u64, mut f: impl FnMut()) {
+/// One benchmark's timings, in nanoseconds.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Work items per call (e.g. simulated rounds); 0 when not meaningful.
+    pub work_items: u64,
+    /// Fastest timed iteration.
+    pub min_ns: u128,
+    /// Median timed iteration.
+    pub median_ns: u128,
+    /// Mean of the timed iterations.
+    pub mean_ns: u128,
+    /// Number of timed iterations.
+    pub iters: u32,
+}
+
+impl BenchResult {
+    /// Median cost per work item, in nanoseconds (0.0 when `work_items` is 0).
+    pub fn ns_per_item(&self) -> f64 {
+        if self.work_items == 0 {
+            0.0
+        } else {
+            self.median_ns as f64 / self.work_items as f64
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("work_items".into(), Json::Int(self.work_items as i64)),
+            ("min_ns".into(), Json::Int(self.min_ns as i64)),
+            ("median_ns".into(), Json::Int(self.median_ns as i64)),
+            ("mean_ns".into(), Json::Int(self.mean_ns as i64)),
+            ("iters".into(), Json::Int(self.iters as i64)),
+            ("ns_per_item".into(), Json::Float(self.ns_per_item())),
+        ])
+    }
+}
+
+/// Time `f`, print one result line, and return the measured result.
+/// `work_items` scales the per-item throughput column (e.g. simulated
+/// rounds per call); pass 0 to omit it.
+pub fn bench(name: &str, work_items: u64, mut f: impl FnMut()) -> BenchResult {
     f(); // warm-up, untimed
     let iters = iterations();
     let mut times: Vec<Duration> = Vec::with_capacity(iters as usize);
@@ -35,11 +82,35 @@ pub fn bench(name: &str, work_items: u64, mut f: impl FnMut()) {
         "{name:<36} min {:>10.3?}  median {:>10.3?}  mean {:>10.3?}  x{iters}",
         times[0], median, mean
     );
+    let result = BenchResult {
+        name: name.to_string(),
+        work_items,
+        min_ns: times[0].as_nanos(),
+        median_ns: median.as_nanos(),
+        mean_ns: mean.as_nanos(),
+        iters,
+    };
     if work_items > 0 {
-        let per = median.as_nanos() as f64 / work_items as f64;
-        line.push_str(&format!("  ({per:.0} ns/item)"));
+        line.push_str(&format!("  ({:.0} ns/item)", result.ns_per_item()));
     }
     println!("{line}");
+    result
+}
+
+/// Write results as a stable, diff-friendly JSON document (rendered by the
+/// in-repo serializer, so strings are escaped and output is deterministic).
+/// `bench` names the suite; `meta` pairs (e.g. rounds per call) land in the
+/// header object.
+pub fn write_json(
+    path: &std::path::Path,
+    bench: &str,
+    meta: &[(&str, u64)],
+    results: &[BenchResult],
+) -> std::io::Result<()> {
+    let mut members = vec![("bench".to_string(), Json::Str(bench.to_string()))];
+    members.extend(meta.iter().map(|&(key, value)| (key.to_string(), Json::Int(value as i64))));
+    members.push(("results".into(), Json::Arr(results.iter().map(BenchResult::to_json).collect())));
+    std::fs::write(path, Json::Obj(members).render_pretty())
 }
 
 #[cfg(test)]
@@ -47,10 +118,42 @@ mod tests {
     use super::*;
 
     #[test]
-    fn bench_runs_the_closure() {
+    fn bench_runs_the_closure_and_records() {
         let mut calls = 0u32;
-        bench("noop", 10, || calls += 1);
+        let result = bench("noop", 10, || calls += 1);
         // 1 warm-up + `iterations()` timed runs
         assert_eq!(calls, 1 + iterations());
+        assert_eq!(result.name, "noop");
+        assert_eq!(result.work_items, 10);
+        assert_eq!(result.iters, iterations());
+        assert!(result.min_ns <= result.median_ns);
+    }
+
+    #[test]
+    fn json_output_is_well_formed() {
+        // The name contains characters needing escapes: round-tripping
+        // through the in-repo parser must preserve them.
+        let r = BenchResult {
+            name: "x \"quoted\"\\".into(),
+            work_items: 100,
+            min_ns: 1_000,
+            median_ns: 2_000,
+            mean_ns: 2_100,
+            iters: 3,
+        };
+        let dir = std::env::temp_dir().join(format!("emac_bench_json_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.json");
+        write_json(&path, "suite", &[("rounds_per_call", 100)], &[r.clone(), r]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed = Json::parse(&text).expect("valid JSON");
+        assert_eq!(parsed.get("bench").and_then(Json::as_str), Some("suite"));
+        assert_eq!(parsed.get("rounds_per_call").and_then(Json::as_u64), Some(100));
+        let results = parsed.get("results").and_then(Json::as_array).expect("results array");
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].get("name").and_then(Json::as_str), Some("x \"quoted\"\\"));
+        assert_eq!(results[0].get("median_ns").and_then(Json::as_u64), Some(2_000));
+        assert_eq!(results[0].get("ns_per_item").and_then(Json::as_f64), Some(20.0));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -17,7 +17,7 @@
 //! the `ablations` binary, section B0). Do not use this as a routing
 //! algorithm.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use emac_sim::{
     Action, AlgorithmClass, BuiltAlgorithm, Effects, Feedback, IndexedQueue, Message, OnSchedule,
@@ -42,36 +42,47 @@ pub struct RandomOnSchedule {
     n: usize,
     k: usize,
     seed: u64,
+    /// Reusable shuffle buffer. The partial Fisher–Yates needs all `n`
+    /// station names; keeping them here (behind an uncontended mutex — the
+    /// engine queries the schedule from one thread) makes `on_set_into`
+    /// allocation-free in steady state.
+    scratch: Mutex<Vec<StationId>>,
 }
 
 impl RandomOnSchedule {
     /// Schedule for `n` stations, cap `k`, deterministic in `seed`.
     pub fn new(n: usize, k: usize, seed: u64) -> Self {
         assert!(k >= 2 && k <= n);
-        Self { n, k, seed }
+        Self { n, k, seed, scratch: Mutex::new(Vec::with_capacity(n)) }
     }
 
-    fn chosen(&self, round: Round) -> Vec<StationId> {
-        let mut ids: Vec<StationId> = (0..self.n).collect();
+    /// Partial Fisher–Yates of `ids = 0..n` for `round`; the chosen set is
+    /// `ids[..k]` (unsorted).
+    fn shuffle_into(&self, round: Round, ids: &mut Vec<StationId>) {
+        ids.clear();
+        ids.extend(0..self.n);
         let mut state = mix(self.seed ^ round.wrapping_mul(0x517c_c1b7_2722_0a95));
         for i in 0..self.k.min(self.n - 1) {
             state = mix(state);
             let j = i + (state as usize) % (self.n - i);
             ids.swap(i, j);
         }
-        let mut on = ids[..self.k].to_vec();
-        on.sort_unstable();
-        on
     }
 }
 
 impl OnSchedule for RandomOnSchedule {
     fn is_on(&self, station: StationId, round: Round) -> bool {
-        self.chosen(round).contains(&station)
+        let mut ids = self.scratch.lock().expect("schedule scratch poisoned");
+        self.shuffle_into(round, &mut ids);
+        ids[..self.k].contains(&station)
     }
 
-    fn on_set(&self, _n: usize, round: Round) -> Vec<StationId> {
-        self.chosen(round)
+    fn on_set_into(&self, _n: usize, round: Round, out: &mut Vec<StationId>) {
+        let mut ids = self.scratch.lock().expect("schedule scratch poisoned");
+        self.shuffle_into(round, &mut ids);
+        out.clear();
+        out.extend_from_slice(&ids[..self.k]);
+        out.sort_unstable();
     }
 }
 
@@ -167,14 +178,14 @@ mod tests {
     fn schedule_is_exactly_k_wide_and_deterministic() {
         let s = RandomOnSchedule::new(10, 4, 7);
         for r in 0..200 {
-            let on = s.chosen(r);
+            let on = s.on_set(10, r);
             assert_eq!(on.len(), 4, "round {r}");
             assert!(on.windows(2).all(|w| w[0] < w[1]), "sorted distinct");
             assert!(on.iter().all(|&x| x < 10));
-            assert_eq!(on, RandomOnSchedule::new(10, 4, 7).chosen(r), "deterministic");
+            assert_eq!(on, RandomOnSchedule::new(10, 4, 7).on_set(10, r), "deterministic");
         }
         // different rounds give different sets (overwhelmingly)
-        assert_ne!(s.chosen(0), s.chosen(1));
+        assert_ne!(s.on_set(10, 0), s.on_set(10, 1));
     }
 
     #[test]
@@ -182,7 +193,7 @@ mod tests {
         let s = RandomOnSchedule::new(8, 3, 1);
         let mut seen = [false; 8];
         for r in 0..200 {
-            for st in s.chosen(r) {
+            for st in s.on_set(8, r) {
                 seen[st] = true;
             }
         }

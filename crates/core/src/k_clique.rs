@@ -135,8 +135,13 @@ impl OnSchedule for KCliqueParams {
         s == a || s == b
     }
 
-    fn on_set(&self, _n: usize, round: Round) -> Vec<StationId> {
-        self.pair_members(self.active_pair(round))
+    fn on_set_into(&self, _n: usize, round: Round, out: &mut Vec<StationId>) {
+        let (a, b) = self.pairs[self.active_pair(round)];
+        out.clear();
+        // pair_members(p), inlined to avoid the intermediate allocation;
+        // a < b, so chaining the two consecutive runs keeps ascending order.
+        out.extend(self.set_members(a));
+        out.extend(self.set_members(b));
     }
 }
 

@@ -129,11 +129,18 @@ impl OnSchedule for KCycleParams {
         self.groups_of(station).contains(&g)
     }
 
-    fn on_set(&self, n: usize, round: Round) -> Vec<StationId> {
+    fn on_set_into(&self, n: usize, round: Round, out: &mut Vec<StationId>) {
         let g = self.active_group(round);
-        let mut on: Vec<StationId> = self.group_members(g).into_iter().filter(|&s| s < n).collect();
-        on.sort_unstable();
-        on
+        out.clear();
+        // group_members(g), inlined to avoid the intermediate allocation:
+        // real stations only (a group's last member may be a dummy).
+        for j in 0..self.k {
+            let s = (g * (self.k - 1) + j) % self.v;
+            if s < n {
+                out.push(s);
+            }
+        }
+        out.sort_unstable();
     }
 }
 

@@ -88,8 +88,9 @@ impl OnSchedule for KSubsetsParams {
         self.in_subset(self.thread_of_round(round), station)
     }
 
-    fn on_set(&self, _n: usize, round: Round) -> Vec<StationId> {
-        self.subsets[self.thread_of_round(round) as usize].clone()
+    fn on_set_into(&self, _n: usize, round: Round, out: &mut Vec<StationId>) {
+        out.clear();
+        out.extend_from_slice(&self.subsets[self.thread_of_round(round) as usize]);
     }
 }
 

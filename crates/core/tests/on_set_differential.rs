@@ -1,0 +1,100 @@
+//! Differential property tests for every [`OnSchedule`] implementation.
+//!
+//! An on-set enumeration (`on_set` and, once the hot path is buffer-based,
+//! `on_set_into`) is *derived* state: the ground truth is the per-station
+//! `is_on` predicate. For each schedule in the workspace — the four
+//! algorithm geometries in this crate plus the trait's default scan — this
+//! test asserts, over sampled rounds, that the enumeration is exactly the
+//! sorted, duplicate-free set of stations for which `is_on` holds. Any
+//! faster enumeration an implementor ships must stay equal to the scan.
+
+use emac_core::baseline::RandomOnSchedule;
+use emac_core::k_clique::KCliqueParams;
+use emac_core::k_cycle::KCycleParams;
+use emac_core::k_subsets::KSubsetsParams;
+use emac_sim::{OnSchedule, Round, StationId};
+
+/// A schedule that provides only `is_on`, exercising the trait's default
+/// enumeration (the sim-side implementation).
+struct DefaultScan;
+
+impl OnSchedule for DefaultScan {
+    fn is_on(&self, station: StationId, round: Round) -> bool {
+        // Arbitrary but aperiodic-ish pattern over station and round.
+        (station as u64).wrapping_add(round.wrapping_mul(3)) % 5 < 2
+    }
+}
+
+/// Rounds worth sampling: a dense prefix (covers every phase of the short
+/// periodic schedules) plus scattered large rounds (catches overflow or
+/// period arithmetic going wrong far from zero).
+fn sampled_rounds() -> Vec<Round> {
+    let mut rounds: Vec<Round> = (0..1_024).collect();
+    rounds.extend([1 << 16, (1 << 16) + 1, 1 << 32, u64::MAX / 2, u64::MAX - 1]);
+    rounds
+}
+
+fn reference_on_set(schedule: &dyn OnSchedule, n: usize, round: Round) -> Vec<StationId> {
+    (0..n).filter(|&s| schedule.is_on(s, round)).collect()
+}
+
+fn assert_on_set_matches_is_on(name: &str, schedule: &dyn OnSchedule, n: usize) {
+    // One deliberately dirty buffer reused across every round: buffer-based
+    // enumeration must clear stale contents and match the allocating path.
+    let mut reused: Vec<StationId> = vec![usize::MAX; 3];
+    for round in sampled_rounds() {
+        let expect = reference_on_set(schedule, n, round);
+        let got = schedule.on_set(n, round);
+        assert_eq!(got, expect, "{name}: on_set diverged from the is_on scan at round {round}");
+        schedule.on_set_into(n, round, &mut reused);
+        assert_eq!(
+            reused, expect,
+            "{name}: on_set_into with a reused buffer diverged at round {round}"
+        );
+        assert!(
+            got.windows(2).all(|w| w[0] < w[1]),
+            "{name}: on_set not sorted/distinct at round {round}: {got:?}"
+        );
+        assert!(
+            got.iter().all(|&s| s < n),
+            "{name}: on_set returned out-of-range station at round {round}: {got:?}"
+        );
+    }
+}
+
+#[test]
+fn k_subsets_on_set_equals_is_on_scan() {
+    for (n, k) in [(5, 2), (6, 3), (8, 4)] {
+        let p = KSubsetsParams::new(n, k);
+        assert_on_set_matches_is_on(&format!("k-subsets(n={n},k={k})"), &p, n);
+    }
+}
+
+#[test]
+fn k_cycle_on_set_equals_is_on_scan() {
+    for (n, k) in [(5, 2), (9, 3), (8, 4), (16, 4)] {
+        let p = KCycleParams::new(n, k);
+        assert_on_set_matches_is_on(&format!("k-cycle(n={n},k={k})"), &p, n);
+    }
+}
+
+#[test]
+fn k_clique_on_set_equals_is_on_scan() {
+    for (n, k) in [(6, 2), (8, 4), (12, 4), (9, 6)] {
+        let p = KCliqueParams::new(n, k);
+        assert_on_set_matches_is_on(&format!("k-clique(n={n},k={k})"), &p, n);
+    }
+}
+
+#[test]
+fn random_baseline_on_set_equals_is_on_scan() {
+    for (n, k, seed) in [(8, 3, 0), (10, 4, 7), (16, 2, 42)] {
+        let s = RandomOnSchedule::new(n, k, seed);
+        assert_on_set_matches_is_on(&format!("duty-cycle(n={n},k={k},seed={seed})"), &s, n);
+    }
+}
+
+#[test]
+fn default_trait_enumeration_equals_is_on_scan() {
+    assert_on_set_matches_is_on("default-scan", &DefaultScan, 13);
+}

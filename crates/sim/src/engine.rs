@@ -68,6 +68,10 @@ pub struct Simulator {
     last_on: Vec<Option<Round>>,
     queue_sizes: Vec<usize>,
     awake_mask: Vec<bool>,
+    // per-round scratch buffers, reused so the steady-state round loop
+    // performs no heap allocation
+    awake: Vec<StationId>,
+    transmissions: Vec<(StationId, Message)>,
     trace: Option<Trace>,
     traced_injections: Vec<(StationId, StationId)>,
 }
@@ -123,6 +127,8 @@ impl Simulator {
             last_on: vec![None; n],
             queue_sizes: vec![0; n],
             awake_mask: vec![false; n],
+            awake: Vec::with_capacity(n),
+            transmissions: Vec::with_capacity(n),
             trace: None,
             traced_injections: Vec::new(),
             cfg,
@@ -142,6 +148,9 @@ impl Simulator {
 
     /// Run `rounds` rounds.
     pub fn run(&mut self, rounds: u64) {
+        // Pre-size the queue series so sampling never reallocates mid-run.
+        let samples = rounds / self.cfg.sample_every + 2;
+        self.metrics.queue_series.reserve(samples as usize);
         for _ in 0..rounds {
             self.step();
         }
@@ -177,11 +186,11 @@ impl Simulator {
             }
         }
 
-        // 2. Wake-set determination.
-        let awake: Vec<StationId> = match &self.wake {
-            WakeMode::Scheduled(s) => s.on_set(n, r),
+        // 2. Wake-set determination, into the reusable scratch buffer.
+        match &self.wake {
+            WakeMode::Scheduled(s) => s.on_set_into(n, r, &mut self.awake),
             WakeMode::Adaptive => {
-                let mut v = Vec::new();
+                self.awake.clear();
                 for s in 0..n {
                     if let Power::OffUntil(w) = self.power[s] {
                         if w <= r {
@@ -189,30 +198,32 @@ impl Simulator {
                         }
                     }
                     if self.power[s] == Power::On {
-                        v.push(s);
+                        self.awake.push(s);
                     }
                 }
-                v
             }
-        };
+        }
+        let awake_count = self.awake.len();
         self.awake_mask.fill(false);
-        for &s in &awake {
+        for i in 0..awake_count {
+            let s = self.awake[i];
             self.awake_mask[s] = true;
             self.on_counts[s] += 1;
             self.last_on[s] = Some(r);
         }
-        if awake.len() > self.cfg.cap {
+        if awake_count > self.cfg.cap {
             self.violations.cap_exceeded += 1;
         }
-        self.metrics.energy_total += awake.len() as u64;
-        self.metrics.max_awake = self.metrics.max_awake.max(awake.len());
+        self.metrics.energy_total += awake_count as u64;
+        self.metrics.max_awake = self.metrics.max_awake.max(awake_count);
 
         // 3. Actions.
-        let mut transmissions: Vec<(StationId, Message)> = Vec::new();
-        for &s in &awake {
+        self.transmissions.clear();
+        for i in 0..awake_count {
+            let s = self.awake[i];
             let ctx = ProtocolCtx { id: s, n, cap: self.cfg.cap, round: r };
             match self.protocols[s].act(&ctx, &self.queues[s]) {
-                Action::Transmit(m) => transmissions.push((s, m)),
+                Action::Transmit(m) => self.transmissions.push((s, m)),
                 Action::Listen => {}
             }
         }
@@ -220,13 +231,13 @@ impl Simulator {
         // 4. Channel resolution.
         let mut heard: Option<HeardInfo> = None;
         let mut message_sender: Option<StationId> = None;
-        let heard_message: Option<Message> = match transmissions.len() {
+        let heard_message: Option<Message> = match self.transmissions.len() {
             0 => {
                 self.metrics.silent_rounds += 1;
                 None
             }
             1 => {
-                let (sender, mut msg) = transmissions.pop().expect("one transmission");
+                let (sender, mut msg) = self.transmissions.pop().expect("one transmission");
                 message_sender = Some(sender);
                 if self.class.plain_packet && (msg.packet.is_none() || !msg.control.is_empty()) {
                     self.violations.plain_packet += 1;
@@ -267,10 +278,11 @@ impl Simulator {
                 None
             }
         };
-        let collided = transmissions.len() > 1;
+        let collided = self.transmissions.len() > 1;
 
         // 5. Feedback, adoption, sleep decisions.
-        for &s in &awake {
+        for i in 0..awake_count {
+            let s = self.awake[i];
             let fb = match (&heard_message, collided) {
                 (_, true) => Feedback::Collision,
                 (Some(m), false) => Feedback::Heard(m),
@@ -303,7 +315,7 @@ impl Simulator {
 
         if self.trace.is_some() {
             let event = match (&heard, &heard_message, collided) {
-                (_, _, true) => ChannelEvent::Collision { transmitters: transmissions.len() + 1 },
+                (_, _, true) => ChannelEvent::Collision { transmitters: self.transmissions.len() },
                 (Some(h), _, false) => ChannelEvent::Packet {
                     sender: h.sender,
                     packet: h.packet.id,
@@ -324,7 +336,7 @@ impl Simulator {
             };
             let injections = std::mem::take(&mut self.traced_injections);
             if let Some(trace) = self.trace.as_mut() {
-                trace.push(RoundTrace { round: r, awake: awake.clone(), injections, event });
+                trace.push(RoundTrace { round: r, awake: self.awake.clone(), injections, event });
             }
         }
 
@@ -400,6 +412,8 @@ impl Simulator {
     /// more rounds have elapsed. Returns whether the system drained.
     pub fn run_until_drained(&mut self, max_rounds: u64) -> bool {
         self.set_injections(false);
+        let samples = max_rounds / self.cfg.sample_every + 2;
+        self.metrics.queue_series.reserve(samples as usize);
         for _ in 0..max_rounds {
             if self.metrics.total_queued == 0 {
                 return true;

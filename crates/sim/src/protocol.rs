@@ -151,10 +151,24 @@ pub trait OnSchedule: Send + Sync {
     /// Whether `station` is switched on in `round`.
     fn is_on(&self, station: StationId, round: Round) -> bool;
 
-    /// Stations switched on in `round`. The default scans all `n`; schedules
-    /// with structure should override with an O(cap) enumeration.
+    /// Fill `out` with the stations switched on in `round`, in ascending
+    /// name order. `out` is cleared first; its capacity is reused, which is
+    /// what keeps the engine's round loop allocation-free in steady state.
+    /// The default scans all `n` stations; schedules with structure should
+    /// override with an O(cap) enumeration.
+    fn on_set_into(&self, n: usize, round: Round, out: &mut Vec<StationId>) {
+        out.clear();
+        out.extend((0..n).filter(|&s| self.is_on(s, round)));
+    }
+
+    /// Stations switched on in `round`, as a freshly allocated vector.
+    /// Convenience wrapper over [`OnSchedule::on_set_into`] for
+    /// construction-time schedule analysis and tests; per-round hot paths
+    /// hold a scratch buffer and call `on_set_into` instead.
     fn on_set(&self, n: usize, round: Round) -> Vec<StationId> {
-        (0..n).filter(|&s| self.is_on(s, round)).collect()
+        let mut out = Vec::new();
+        self.on_set_into(n, round, &mut out);
+        out
     }
 }
 
@@ -326,5 +340,17 @@ mod tests {
         let s = EveryOther;
         assert_eq!(s.on_set(4, 0), vec![0, 2]);
         assert_eq!(s.on_set(4, 1), vec![1, 3]);
+    }
+
+    #[test]
+    fn on_set_into_clears_and_reuses_the_buffer() {
+        let s = EveryOther;
+        let mut buf = vec![9, 9, 9, 9, 9];
+        let capacity_before = buf.capacity();
+        s.on_set_into(4, 0, &mut buf);
+        assert_eq!(buf, vec![0, 2], "stale contents must be cleared");
+        s.on_set_into(4, 1, &mut buf);
+        assert_eq!(buf, vec![1, 3]);
+        assert_eq!(buf.capacity(), capacity_before, "capacity is reused, never shrunk");
     }
 }

@@ -9,8 +9,19 @@
 //! the single source of truth for packet custody, which is what lets it
 //! verify that every packet is delivered exactly once and never duplicated
 //! or lost. Algorithms receive `&IndexedQueue` views.
+//!
+//! # Representation
+//!
+//! Queue operations sit on the engine's per-round hot path, so the queue is
+//! a *slab*: packets live in a `Vec` of slots threaded into an intrusive
+//! doubly-linked list in arrival order, with removed slots recycled through
+//! a free list. Push and removal are O(1) plus one hash-map update for the
+//! id index; in steady state — once the slab and the id index have grown to
+//! the execution's high-water queue length — no queue operation allocates.
+//! (The previous `BTreeMap` keyed by arrival sequence allocated a node per
+//! push, which dominated the allocation profile of long stability sweeps.)
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 
 use crate::packet::{Packet, PacketId, Round, StationId};
 
@@ -26,21 +37,52 @@ pub struct QueuedPacket {
     pub seq: u64,
 }
 
-/// Arrival-ordered queue with per-destination counts and O(log q) removal.
-#[derive(Clone, Debug, Default)]
+/// Sentinel "no slot" index for the intrusive links.
+const NIL: usize = usize::MAX;
+
+/// One slab slot: a queued packet threaded into the arrival-order list.
+/// Freed slots keep their (stale) payload and reuse `next` as the free-list
+/// link; only slots reachable from `head` are live.
+#[derive(Clone, Copy, Debug)]
+struct Slot {
+    qp: QueuedPacket,
+    prev: usize,
+    next: usize,
+}
+
+/// Arrival-ordered queue with per-destination counts, O(1) push/removal by
+/// packet id, and steady-state allocation-free operation.
+#[derive(Clone, Debug)]
 pub struct IndexedQueue {
-    by_seq: BTreeMap<u64, QueuedPacket>,
-    seq_of: HashMap<PacketId, u64>,
+    slots: Vec<Slot>,
+    /// Head of the free list (threaded through `Slot::next`).
+    free_head: usize,
+    /// Oldest live slot (front of the arrival order).
+    head: usize,
+    /// Newest live slot (back of the arrival order).
+    tail: usize,
+    len: usize,
+    slot_of: HashMap<PacketId, usize>,
     dest_counts: Vec<usize>,
     next_seq: u64,
+}
+
+impl Default for IndexedQueue {
+    fn default() -> Self {
+        Self::new(0)
+    }
 }
 
 impl IndexedQueue {
     /// An empty queue for a system of `n` stations.
     pub fn new(n: usize) -> Self {
         Self {
-            by_seq: BTreeMap::new(),
-            seq_of: HashMap::new(),
+            slots: Vec::new(),
+            free_head: NIL,
+            head: NIL,
+            tail: NIL,
+            len: 0,
+            slot_of: HashMap::new(),
             dest_counts: vec![0; n],
             next_seq: 0,
         }
@@ -48,22 +90,22 @@ impl IndexedQueue {
 
     /// Number of queued packets.
     pub fn len(&self) -> usize {
-        self.by_seq.len()
+        self.len
     }
 
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
-        self.by_seq.is_empty()
+        self.len == 0
     }
 
     /// Whether the packet is currently queued here.
     pub fn contains(&self, id: PacketId) -> bool {
-        self.seq_of.contains_key(&id)
+        self.slot_of.contains_key(&id)
     }
 
     /// Look up a queued packet by id.
     pub fn get(&self, id: PacketId) -> Option<&QueuedPacket> {
-        self.seq_of.get(&id).map(|s| &self.by_seq[s])
+        self.slot_of.get(&id).map(|&i| &self.slots[i].qp)
     }
 
     /// Packets destined to `dest` currently queued.
@@ -79,18 +121,18 @@ impl IndexedQueue {
 
     /// Iterate over queued packets in arrival order.
     pub fn iter(&self) -> impl Iterator<Item = &QueuedPacket> {
-        self.by_seq.values()
+        Iter { slots: &self.slots, cur: self.head }
     }
 
     /// Iterate in arrival order over packets destined to `dest`.
     pub fn iter_for(&self, dest: StationId) -> impl Iterator<Item = &QueuedPacket> + '_ {
-        self.by_seq.values().filter(move |qp| qp.packet.dest == dest)
+        self.iter().filter(move |qp| qp.packet.dest == dest)
     }
 
     /// Iterate in arrival order over packets that arrived strictly before
     /// `marker` (the usual "old packet" predicate of the paper's algorithms).
     pub fn iter_old(&self, marker: Round) -> impl Iterator<Item = &QueuedPacket> + '_ {
-        self.by_seq.values().filter(move |qp| qp.arrived < marker)
+        self.iter().filter(move |qp| qp.arrived < marker)
     }
 
     /// Count packets that arrived strictly before `marker`.
@@ -105,12 +147,12 @@ impl IndexedQueue {
 
     /// The earliest-arrived packet.
     pub fn oldest(&self) -> Option<&QueuedPacket> {
-        self.by_seq.values().next()
+        (self.head != NIL).then(|| &self.slots[self.head].qp)
     }
 
     /// The latest-arrived packet.
     pub fn newest(&self) -> Option<&QueuedPacket> {
-        self.by_seq.values().next_back()
+        (self.tail != NIL).then(|| &self.slots[self.tail].qp)
     }
 
     /// The earliest-arrived packet destined to `dest`.
@@ -137,19 +179,66 @@ impl IndexedQueue {
         let seq = self.next_seq;
         self.next_seq += 1;
         let qp = QueuedPacket { packet, arrived, seq };
-        let prev = self.seq_of.insert(packet.id, seq);
+        let slot = Slot { qp, prev: self.tail, next: NIL };
+        let idx = if self.free_head != NIL {
+            let idx = self.free_head;
+            self.free_head = self.slots[idx].next;
+            self.slots[idx] = slot;
+            idx
+        } else {
+            self.slots.push(slot);
+            self.slots.len() - 1
+        };
+        if self.tail != NIL {
+            self.slots[self.tail].next = idx;
+        } else {
+            self.head = idx;
+        }
+        self.tail = idx;
+        let prev = self.slot_of.insert(packet.id, idx);
         debug_assert!(prev.is_none(), "packet {} enqueued twice", packet.id);
-        self.by_seq.insert(seq, qp);
         self.dest_counts[packet.dest] += 1;
+        self.len += 1;
         qp
     }
 
     /// Remove a packet by id.
     pub fn remove(&mut self, id: PacketId) -> Option<QueuedPacket> {
-        let seq = self.seq_of.remove(&id)?;
-        let qp = self.by_seq.remove(&seq).expect("seq index out of sync");
+        let idx = self.slot_of.remove(&id)?;
+        let Slot { qp, prev, next } = self.slots[idx];
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.slots[idx].next = self.free_head;
+        self.free_head = idx;
         self.dest_counts[qp.packet.dest] -= 1;
+        self.len -= 1;
         Some(qp)
+    }
+}
+
+struct Iter<'a> {
+    slots: &'a [Slot],
+    cur: usize,
+}
+
+impl<'a> Iterator for Iter<'a> {
+    type Item = &'a QueuedPacket;
+
+    fn next(&mut self) -> Option<&'a QueuedPacket> {
+        if self.cur == NIL {
+            return None;
+        }
+        let slot = &self.slots[self.cur];
+        self.cur = slot.next;
+        Some(&slot.qp)
     }
 }
 
@@ -225,5 +314,53 @@ mod tests {
         let q = filled();
         assert_eq!(q.get(PacketId(2)).unwrap().arrived, 3);
         assert!(q.get(PacketId(9)).is_none());
+    }
+
+    #[test]
+    fn slots_are_recycled_not_grown() {
+        // Churn far more packets than the peak queue length: the slab must
+        // stay at the high-water mark, recycling freed slots.
+        let mut q = IndexedQueue::new(2);
+        for id in 0..4 {
+            q.push(pkt(id, 1), id);
+        }
+        for id in 4..1_000 {
+            q.remove(PacketId(id - 4)).expect("oldest still queued");
+            q.push(pkt(id, 1), id);
+            assert_eq!(q.len(), 4);
+        }
+        assert_eq!(q.slots.len(), 4, "slab must not grow past the high-water mark");
+        let ids: Vec<u64> = q.iter().map(|qp| qp.packet.id.0).collect();
+        assert_eq!(ids, vec![996, 997, 998, 999], "arrival order survives recycling");
+        assert_eq!(q.newest().unwrap().packet.id.0, 999);
+    }
+
+    #[test]
+    fn interior_removal_keeps_links_consistent() {
+        let mut q = filled();
+        q.remove(PacketId(1)).unwrap(); // interior
+        q.remove(PacketId(3)).unwrap(); // tail
+        let ids: Vec<u64> = q.iter().map(|qp| qp.packet.id.0).collect();
+        assert_eq!(ids, vec![0, 2]);
+        assert_eq!(q.newest().unwrap().packet.id.0, 2);
+        q.push(pkt(9, 3), 9);
+        let ids: Vec<u64> = q.iter().map(|qp| qp.packet.id.0).collect();
+        assert_eq!(ids, vec![0, 2, 9]);
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn drain_to_empty_and_refill() {
+        let mut q = filled();
+        for id in 0..4 {
+            q.remove(PacketId(id)).unwrap();
+        }
+        assert!(q.is_empty());
+        assert!(q.oldest().is_none());
+        assert!(q.newest().is_none());
+        assert_eq!(q.iter().count(), 0);
+        let qp = q.push(pkt(7, 2), 11);
+        assert_eq!(qp.seq, 4, "sequence numbers keep increasing");
+        assert_eq!(q.oldest().unwrap().packet.id.0, 7);
     }
 }
