@@ -40,12 +40,19 @@ impl SleeperTargeting {
 }
 
 impl Adversary for SleeperTargeting {
-    fn plan(&mut self, _round: Round, budget: usize, view: &SystemView<'_>) -> Vec<Injection> {
+    fn plan_into(
+        &mut self,
+        _round: Round,
+        budget: usize,
+        view: &SystemView<'_>,
+        out: &mut Vec<Injection>,
+    ) {
+        out.clear();
         if budget == 0 {
-            return Vec::new();
+            return;
         }
         let (source, dest) = Self::pick(view);
-        (0..budget).map(|_| Injection::new(source, dest)).collect()
+        out.extend((0..budget).map(|_| Injection::new(source, dest)));
     }
 }
 
@@ -75,25 +82,33 @@ impl Default for Lemma1Adversary {
 }
 
 impl Adversary for Lemma1Adversary {
-    fn plan(&mut self, _round: Round, budget: usize, view: &SystemView<'_>) -> Vec<Injection> {
-        // (Re-)pick the victim if unset or it woke up last round.
+    fn plan_into(
+        &mut self,
+        _round: Round,
+        budget: usize,
+        view: &SystemView<'_>,
+        out: &mut Vec<Injection>,
+    ) {
+        // (Re-)pick the victim if unset or it woke up last round — even on
+        // zero-budget rounds, so the victim tracking never skips a wake.
         let need_new = match self.victim {
             None => true,
-            Some(v) => view.prev_awake[v],
+            Some(v) => view.prev_awake.contains(v),
         };
         if need_new {
             self.victim =
                 (0..view.n).min_by_key(|&s| (view.last_on[s].map_or(-1i64, |r| r as i64), s));
         }
         let victim = self.victim.expect("n >= 2");
+        out.clear();
         if budget == 0 {
-            return Vec::new();
+            return;
         }
         // Inject into s1, addressed to s2, both different from the victim.
         let mut others = (0..view.n).filter(|&s| s != victim);
         let s1 = others.next().expect("n >= 3 for the lemma's construction");
         let s2 = others.next().unwrap_or(s1);
-        (0..budget.min(1)).map(|_| Injection::new(s1, s2)).collect()
+        out.extend((0..budget.min(1)).map(|_| Injection::new(s1, s2)));
     }
 }
 
@@ -101,10 +116,12 @@ impl Adversary for Lemma1Adversary {
 mod tests {
     use super::*;
 
+    use emac_sim::BitSet;
+
     #[test]
     fn sleeper_targets_never_on_station() {
         let qs = vec![0; 4];
-        let pa = vec![false; 4];
+        let pa = BitSet::new(4);
         let oc = vec![5u64, 0, 3, 2];
         let lo = vec![Some(9), None, Some(4), Some(8)];
         let v = SystemView {
@@ -126,7 +143,7 @@ mod tests {
     #[test]
     fn sleeper_source_and_dest_differ() {
         let qs = vec![0; 2];
-        let pa = vec![false; 2];
+        let pa = BitSet::new(2);
         let oc = vec![0u64, 0];
         let lo = vec![None, None];
         let v = SystemView {
@@ -149,7 +166,7 @@ mod tests {
         let mut a = Lemma1Adversary::new();
 
         // Round 0: nobody was on; victim becomes station 0, injections avoid it.
-        let pa0 = vec![false; 4];
+        let pa0 = BitSet::new(4);
         let lo0 = vec![None; 4];
         let v0 = SystemView {
             round: 0,
@@ -164,7 +181,7 @@ mod tests {
 
         // Victim 0 switched on in the previous round -> repick; station 3
         // has never been on and becomes the new victim.
-        let pa1 = vec![true, false, false, false];
+        let pa1 = BitSet::from_bools(&[true, false, false, false]);
         let lo1 = vec![Some(5), Some(1), Some(2), None];
         let v1 = SystemView {
             round: 6,
@@ -181,7 +198,7 @@ mod tests {
     #[test]
     fn adversaries_respect_zero_budget() {
         let qs = vec![0; 3];
-        let pa = vec![false; 3];
+        let pa = BitSet::new(3);
         let oc = vec![0u64; 3];
         let lo = vec![None; 3];
         let v = SystemView {

@@ -53,15 +53,21 @@ impl LeastOnStation {
 }
 
 impl Adversary for LeastOnStation {
-    fn plan(&mut self, _round: Round, budget: usize, _view: &SystemView<'_>) -> Vec<Injection> {
+    fn plan_into(
+        &mut self,
+        _round: Round,
+        budget: usize,
+        _view: &SystemView<'_>,
+        out: &mut Vec<Injection>,
+    ) {
         let n = self.n as u64;
-        (0..budget)
-            .map(|_| {
-                self.counter += 1;
-                let off = 1 + self.counter % (n - 1);
-                Injection::new(self.target, ((self.target as u64 + off) % n) as StationId)
-            })
-            .collect()
+        let target = self.target;
+        out.clear();
+        out.extend((0..budget).map(|_| {
+            self.counter += 1;
+            let off = 1 + self.counter % (n - 1);
+            Injection::new(target, ((target as u64 + off) % n) as StationId)
+        }));
     }
 }
 
@@ -110,8 +116,15 @@ impl LeastOnPair {
 }
 
 impl Adversary for LeastOnPair {
-    fn plan(&mut self, _round: Round, budget: usize, _view: &SystemView<'_>) -> Vec<Injection> {
-        (0..budget).map(|_| Injection::new(self.source, self.dest)).collect()
+    fn plan_into(
+        &mut self,
+        _round: Round,
+        budget: usize,
+        _view: &SystemView<'_>,
+        out: &mut Vec<Injection>,
+    ) {
+        out.clear();
+        out.extend((0..budget).map(|_| Injection::new(self.source, self.dest)));
     }
 }
 
@@ -161,7 +174,7 @@ mod tests {
     fn flood_plans_fill_budget_and_avoid_self() {
         let s: Arc<dyn OnSchedule> = Arc::new(Toy);
         let qs = vec![0; 4];
-        let pa = vec![false; 4];
+        let pa = emac_sim::BitSet::new(4);
         let oc = vec![0u64; 4];
         let lo = vec![None; 4];
         let v = SystemView {

@@ -37,8 +37,15 @@ impl SingleTarget {
 }
 
 impl Adversary for SingleTarget {
-    fn plan(&mut self, _round: Round, budget: usize, _view: &SystemView<'_>) -> Vec<Injection> {
-        (0..budget).map(|_| Injection::new(self.into, self.dest)).collect()
+    fn plan_into(
+        &mut self,
+        _round: Round,
+        budget: usize,
+        _view: &SystemView<'_>,
+        out: &mut Vec<Injection>,
+    ) {
+        out.clear();
+        out.extend((0..budget).map(|_| Injection::new(self.into, self.dest)));
     }
 }
 
@@ -57,18 +64,23 @@ impl RoundRobinLoad {
 }
 
 impl Adversary for RoundRobinLoad {
-    fn plan(&mut self, _round: Round, budget: usize, view: &SystemView<'_>) -> Vec<Injection> {
+    fn plan_into(
+        &mut self,
+        _round: Round,
+        budget: usize,
+        view: &SystemView<'_>,
+        out: &mut Vec<Injection>,
+    ) {
         let n = view.n as u64;
-        (0..budget)
-            .map(|_| {
-                let c = self.counter;
-                self.counter += 1;
-                let station = (c % n) as StationId;
-                // rotate destination offset through 1..n to avoid self
-                let off = 1 + (c / n) % (n - 1);
-                Injection::new(station, ((c + off) % n) as StationId)
-            })
-            .collect()
+        out.clear();
+        out.extend((0..budget).map(|_| {
+            let c = self.counter;
+            self.counter += 1;
+            let station = (c % n) as StationId;
+            // rotate destination offset through 1..n to avoid self
+            let off = 1 + (c / n) % (n - 1);
+            Injection::new(station, ((c + off) % n) as StationId)
+        }));
     }
 }
 
@@ -87,18 +99,23 @@ impl UniformRandom {
 }
 
 impl Adversary for UniformRandom {
-    fn plan(&mut self, _round: Round, budget: usize, view: &SystemView<'_>) -> Vec<Injection> {
+    fn plan_into(
+        &mut self,
+        _round: Round,
+        budget: usize,
+        view: &SystemView<'_>,
+        out: &mut Vec<Injection>,
+    ) {
         let n = view.n;
-        (0..budget)
-            .map(|_| {
-                let station = self.rng.random_range(0..n);
-                let mut dest = self.rng.random_range(0..n - 1);
-                if dest >= station {
-                    dest += 1;
-                }
-                Injection::new(station, dest)
-            })
-            .collect()
+        out.clear();
+        out.extend((0..budget).map(|_| {
+            let station = self.rng.random_range(0..n);
+            let mut dest = self.rng.random_range(0..n - 1);
+            if dest >= station {
+                dest += 1;
+            }
+            Injection::new(station, dest)
+        }));
     }
 }
 
@@ -126,9 +143,16 @@ impl Alternating {
 }
 
 impl Adversary for Alternating {
-    fn plan(&mut self, round: Round, budget: usize, _view: &SystemView<'_>) -> Vec<Injection> {
+    fn plan_into(
+        &mut self,
+        round: Round,
+        budget: usize,
+        _view: &SystemView<'_>,
+        out: &mut Vec<Injection>,
+    ) {
         let (into, dest) = if (round / self.period).is_multiple_of(2) { self.a } else { self.b };
-        (0..budget).map(|_| Injection::new(into, dest)).collect()
+        out.clear();
+        out.extend((0..budget).map(|_| Injection::new(into, dest)));
     }
 }
 
@@ -153,21 +177,27 @@ impl Bursty {
 }
 
 impl Adversary for Bursty {
-    fn plan(&mut self, round: Round, budget: usize, view: &SystemView<'_>) -> Vec<Injection> {
+    fn plan_into(
+        &mut self,
+        round: Round,
+        budget: usize,
+        view: &SystemView<'_>,
+        out: &mut Vec<Injection>,
+    ) {
+        out.clear();
         if !round.is_multiple_of(self.period) {
-            return Vec::new();
+            return;
         }
         let n = view.n as u64;
-        (0..budget)
-            .map(|_| {
-                self.counter += 1;
-                let mut dest = (self.counter % n) as StationId;
-                if dest == self.into {
-                    dest = (dest + 1) % view.n;
-                }
-                Injection::new(self.into, dest)
-            })
-            .collect()
+        let into = self.into;
+        out.extend((0..budget).map(|_| {
+            self.counter += 1;
+            let mut dest = (self.counter % n) as StationId;
+            if dest == into {
+                dest = (dest + 1) % view.n;
+            }
+            Injection::new(into, dest)
+        }));
     }
 }
 
@@ -188,26 +218,33 @@ impl SpreadFromOne {
 }
 
 impl Adversary for SpreadFromOne {
-    fn plan(&mut self, _round: Round, budget: usize, view: &SystemView<'_>) -> Vec<Injection> {
+    fn plan_into(
+        &mut self,
+        _round: Round,
+        budget: usize,
+        view: &SystemView<'_>,
+        out: &mut Vec<Injection>,
+    ) {
         let n = view.n as u64;
-        (0..budget)
-            .map(|_| {
-                self.counter += 1;
-                let off = 1 + self.counter % (n - 1);
-                Injection::new(self.into, ((self.into as u64 + off) % n) as StationId)
-            })
-            .collect()
+        let into = self.into;
+        out.clear();
+        out.extend((0..budget).map(|_| {
+            self.counter += 1;
+            let off = 1 + self.counter % (n - 1);
+            Injection::new(into, ((into as u64 + off) % n) as StationId)
+        }));
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use emac_sim::BitSet;
 
     fn view<'a>(
         n: usize,
         qs: &'a [usize],
-        pa: &'a [bool],
+        pa: &'a BitSet,
         oc: &'a [u64],
         lo: &'a [Option<Round>],
     ) -> SystemView<'a> {
@@ -216,7 +253,7 @@ mod tests {
 
     macro_rules! mkview {
         ($n:expr) => {{
-            (vec![0usize; $n], vec![false; $n], vec![0u64; $n], vec![None; $n])
+            (vec![0usize; $n], BitSet::new($n), vec![0u64; $n], vec![None; $n])
         }};
     }
 

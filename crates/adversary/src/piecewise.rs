@@ -62,10 +62,16 @@ impl Piecewise {
 }
 
 impl Adversary for Piecewise {
-    fn plan(&mut self, round: Round, budget: usize, view: &SystemView<'_>) -> Vec<Injection> {
+    fn plan_into(
+        &mut self,
+        round: Round,
+        budget: usize,
+        view: &SystemView<'_>,
+        out: &mut Vec<Injection>,
+    ) {
         match self.segment_at(round) {
-            Some(seg) => seg.adversary.plan(round, budget, view),
-            None => Vec::new(),
+            Some(seg) => seg.adversary.plan_into(round, budget, view, out),
+            None => out.clear(),
         }
     }
 }
@@ -75,8 +81,8 @@ mod tests {
     use super::*;
     use crate::patterns::SingleTarget;
 
-    fn view(n: usize) -> (Vec<usize>, Vec<bool>, Vec<u64>, Vec<Option<Round>>) {
-        (vec![0; n], vec![false; n], vec![0; n], vec![None; n])
+    fn view(n: usize) -> (Vec<usize>, emac_sim::BitSet, Vec<u64>, Vec<Option<Round>>) {
+        (vec![0; n], emac_sim::BitSet::new(n), vec![0; n], vec![None; n])
     }
 
     fn plan_at(p: &mut Piecewise, round: Round) -> Vec<Injection> {

@@ -61,15 +61,21 @@ impl Scripted {
 }
 
 impl Adversary for Scripted {
-    fn plan(&mut self, round: Round, budget: usize, _view: &SystemView<'_>) -> Vec<Injection> {
+    fn plan_into(
+        &mut self,
+        round: Round,
+        budget: usize,
+        _view: &SystemView<'_>,
+        out: &mut Vec<Injection>,
+    ) {
+        out.clear();
         while self.next < self.events.len() && self.events[self.next].round <= round {
             self.pending.push_back(self.events[self.next].injection);
             self.next += 1;
         }
         let take = budget.min(self.pending.len());
-        let out: Vec<Injection> = self.pending.drain(..take).collect();
+        out.extend(self.pending.drain(..take));
         self.carried_over += self.pending.len() as u64;
-        out
     }
 }
 
@@ -77,8 +83,8 @@ impl Adversary for Scripted {
 mod tests {
     use super::*;
 
-    fn dummy_view(n: usize) -> (Vec<usize>, Vec<bool>, Vec<u64>, Vec<Option<Round>>) {
-        (vec![0; n], vec![false; n], vec![0; n], vec![None; n])
+    fn dummy_view(n: usize) -> (Vec<usize>, emac_sim::BitSet, Vec<u64>, Vec<Option<Round>>) {
+        (vec![0; n], emac_sim::BitSet::new(n), vec![0; n], vec![None; n])
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! deterministically with the workspace PRNG.
 
 use emac_adversary::prelude::*;
-use emac_sim::{Adversary, Round, SmallRng, SystemView};
+use emac_sim::{Adversary, BitSet, Injection, Round, SmallRng, SystemView};
 
 fn make_adversaries(n: usize, seed: u64) -> Vec<(&'static str, Box<dyn Adversary>)> {
     vec![
@@ -36,11 +36,14 @@ fn all_patterns_are_well_formed() {
         let budgets: Vec<usize> = (0..budget_count).map(|_| rng.random_range(0..6)).collect();
         for (name, mut adv) in make_adversaries(n, seed) {
             let queue_sizes = vec![3usize; n];
-            let mut prev_awake = vec![false; n];
-            prev_awake[0] = true;
+            let mut prev_awake = BitSet::new(n);
+            prev_awake.insert(0);
             let mut on_counts = vec![1u64; n];
             on_counts[n - 1] = 9;
             let last_on: Vec<Option<Round>> = (0..n).map(|i| Some(i as u64)).collect();
+            // one deliberately dirty buffer reused across every round:
+            // `plan_into` must clear stale contents
+            let mut reused = vec![Injection::new(0, 1); 3];
             for (r, &budget) in budgets.iter().enumerate() {
                 let view = SystemView {
                     round: r as Round,
@@ -50,9 +53,9 @@ fn all_patterns_are_well_formed() {
                     on_counts: &on_counts,
                     last_on: &last_on,
                 };
-                let plan = adv.plan(r as Round, budget, &view);
-                assert!(plan.len() <= budget + 1, "{name}: plan over budget");
-                for inj in &plan {
+                adv.plan_into(r as Round, budget, &view, &mut reused);
+                assert!(reused.len() <= budget + 1, "{name}: plan over budget");
+                for inj in &reused {
                     assert!(inj.station < n, "{name}: station out of range");
                     assert!(inj.dest < n, "{name}: dest out of range");
                     assert!(inj.station != inj.dest, "{name}: self-addressed");
@@ -73,7 +76,7 @@ fn scripted_is_exactly_the_script() {
             .collect();
         let mut adv = Scripted::from_triples(&script);
         let queue_sizes = vec![0usize; 5];
-        let prev_awake = vec![false; 5];
+        let prev_awake = BitSet::new(5);
         let on_counts = vec![0u64; 5];
         let last_on = vec![None; 5];
         let mut emitted = 0usize;

@@ -61,6 +61,38 @@ fn sleeping_stations(rounds: u64, results: &mut Vec<BenchResult>) {
     }));
 }
 
+fn large_n(rounds: u64, results: &mut Vec<BenchResult>) {
+    // Scaling scenarios past one mask word: per-round cost must track the
+    // awake set (schedule-table row copies), not n. Construction at this
+    // size (the C(128,2) = 8128-subset geometry) costs milliseconds, so one
+    // simulator is built untimed and each iteration continues the same
+    // steady-state execution — smoke and full runs then measure the same
+    // per-round quantity.
+    println!("large-n: {rounds} rounds per call (one simulator, construction untimed)");
+    {
+        let rho = bounds::k_cycle_rate_threshold(64, 8).scaled(4, 5);
+        let cfg = SimConfig::new(64, 8).adversary_type(rho, Rate::integer(2));
+        let mut sim =
+            Simulator::new(cfg, KCycle::new(8).build(64), Box::new(UniformRandom::new(2)));
+        results.push(bench("kcycle_loaded_n64", rounds, || {
+            sim.run(rounds);
+            assert!(sim.violations().is_clean());
+            black_box(sim.metrics().delivered);
+        }));
+    }
+    {
+        // gamma = C(128, 2) = 8128 threads; two mask words per schedule row.
+        let cfg = SimConfig::new(128, 2).adversary_type(Rate::new(1, 64), Rate::integer(4));
+        let mut sim =
+            Simulator::new(cfg, KSubsets::new(2).build(128), Box::new(UniformRandom::new(3)));
+        results.push(bench("ksubsets_n128", rounds, || {
+            sim.run(rounds);
+            assert!(sim.violations().is_clean());
+            black_box(sim.metrics().delivered);
+        }));
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -74,6 +106,7 @@ fn main() {
     let mut results = Vec::new();
     engine_rounds(rounds, &mut results);
     sleeping_stations(rounds, &mut results);
+    large_n(rounds, &mut results);
 
     if let Some(path) = json_path {
         let path = std::path::PathBuf::from(path);

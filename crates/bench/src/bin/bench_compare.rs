@@ -1,0 +1,90 @@
+//! Compare two `bench_engine` JSON baselines and warn on regressions.
+//!
+//! ```text
+//! cargo run --release -p emac-bench --bin bench_compare -- \
+//!     BENCH_engine.json BENCH_engine.smoke.json [--threshold 25]
+//! ```
+//!
+//! Prints a per-bench delta table (median ns per work item) and a warning
+//! for every bench slower than the threshold (default 25 %). The exit code
+//! is always 0: CI smoke runs execute on noisy shared runners and with
+//! fewer rounds per call than the committed baseline, so this step is a
+//! tripwire for humans reading the log, not a gate. Use the committed
+//! `BENCH_engine.json` as the baseline argument.
+
+use emac_bench::timing::{compare_results, load_results};
+
+fn usage() -> ! {
+    eprintln!("usage: bench_compare <baseline.json> <current.json> [--threshold PCT]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut positional: Vec<&String> = Vec::new();
+    let mut threshold = 25.0f64;
+    let mut i = 1;
+    while i < args.len() {
+        if args[i] == "--threshold" {
+            threshold = match args.get(i + 1).and_then(|v| v.parse().ok()) {
+                Some(t) => t,
+                None => {
+                    eprintln!("bench_compare: --threshold needs a number (percent)");
+                    usage();
+                }
+            };
+            i += 2;
+        } else if args[i].starts_with("--") {
+            eprintln!("bench_compare: unknown flag {}", args[i]);
+            usage();
+        } else {
+            positional.push(&args[i]);
+            i += 1;
+        }
+    }
+    let [baseline_path, current_path] = positional[..] else { usage() };
+
+    let baseline = load_results(baseline_path.as_ref()).unwrap_or_else(|e| {
+        eprintln!("bench_compare: {e}");
+        std::process::exit(2);
+    });
+    let current = load_results(current_path.as_ref()).unwrap_or_else(|e| {
+        eprintln!("bench_compare: {e}");
+        std::process::exit(2);
+    });
+
+    println!("bench baseline comparison: {baseline_path} -> {current_path}");
+    println!("{:<28} {:>12} {:>12} {:>9}", "bench", "base ns/it", "cur ns/it", "delta");
+    let mut regressions = Vec::new();
+    for delta in compare_results(&baseline, &current) {
+        let fmt =
+            |v: Option<f64>| v.map_or_else(|| format!("{:>12}", "-"), |x| format!("{x:>12.1}"));
+        let delta_txt = match delta.delta_pct() {
+            Some(d) => format!("{d:>+8.1}%"),
+            None if delta.baseline.is_none() => format!("{:>9}", "new"),
+            None => format!("{:>9}", "gone"),
+        };
+        println!("{:<28} {} {} {delta_txt}", delta.name, fmt(delta.baseline), fmt(delta.current));
+        if delta.regressed(threshold) {
+            regressions.push(delta);
+        }
+    }
+    if regressions.is_empty() {
+        println!("no bench regressed more than {threshold:.0}% (non-fatal check)");
+    } else {
+        for r in &regressions {
+            println!(
+                "::warning::bench {} regressed {:+.1}% (ns/item {:.1} -> {:.1}, threshold {threshold:.0}%)",
+                r.name,
+                r.delta_pct().unwrap_or_default(),
+                r.baseline.unwrap_or_default(),
+                r.current.unwrap_or_default(),
+            );
+        }
+        println!(
+            "{} bench(es) regressed past {threshold:.0}% — investigate before trusting new numbers \
+             (non-fatal: smoke runs are noisy)",
+            regressions.len()
+        );
+    }
+}

@@ -113,6 +113,87 @@ pub fn write_json(
     std::fs::write(path, Json::Obj(members).render_pretty())
 }
 
+/// Read the `results` of a bench JSON document previously written by
+/// [`write_json`]. Unknown or malformed entries are an error — the
+/// comparison below must never silently skip a regressed bench.
+pub fn load_results(path: &std::path::Path) -> Result<Vec<BenchResult>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let results = doc
+        .get("results")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{}: no `results` array", path.display()))?;
+    results
+        .iter()
+        .map(|r| {
+            let field = |k: &str| {
+                r.get(k).and_then(Json::as_u64).ok_or_else(|| format!("result missing `{k}`"))
+            };
+            Ok(BenchResult {
+                name: r
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or("result missing `name`")?
+                    .to_string(),
+                work_items: field("work_items")?,
+                min_ns: field("min_ns")? as u128,
+                median_ns: field("median_ns")? as u128,
+                mean_ns: field("mean_ns")? as u128,
+                iters: field("iters")? as u32,
+            })
+        })
+        .collect()
+}
+
+/// One benchmark's baseline-vs-current comparison.
+#[derive(Clone, Debug)]
+pub struct BenchDelta {
+    /// Benchmark name.
+    pub name: String,
+    /// Baseline median ns per work item (`None` for a new bench).
+    pub baseline: Option<f64>,
+    /// Current median ns per work item (`None` when the bench was removed).
+    pub current: Option<f64>,
+}
+
+impl BenchDelta {
+    /// Relative change in ns/item, as a percentage (positive = slower).
+    /// `None` unless the bench exists on both sides with non-zero baseline.
+    pub fn delta_pct(&self) -> Option<f64> {
+        match (self.baseline, self.current) {
+            (Some(b), Some(c)) if b > 0.0 => Some((c - b) / b * 100.0),
+            _ => None,
+        }
+    }
+
+    /// Whether this bench got slower by more than `threshold_pct`.
+    pub fn regressed(&self, threshold_pct: f64) -> bool {
+        self.delta_pct().is_some_and(|d| d > threshold_pct)
+    }
+}
+
+/// Pair up two result sets by bench name, in baseline order with new
+/// benches appended. ns/item is recomputed from the medians so the
+/// comparison is robust to float formatting in the files.
+pub fn compare_results(baseline: &[BenchResult], current: &[BenchResult]) -> Vec<BenchDelta> {
+    let per_item =
+        |r: &BenchResult| (r.work_items > 0).then(|| r.median_ns as f64 / r.work_items as f64);
+    let mut deltas: Vec<BenchDelta> = baseline
+        .iter()
+        .map(|b| BenchDelta {
+            name: b.name.clone(),
+            baseline: per_item(b),
+            current: current.iter().find(|c| c.name == b.name).and_then(per_item),
+        })
+        .collect();
+    for c in current {
+        if !baseline.iter().any(|b| b.name == c.name) {
+            deltas.push(BenchDelta { name: c.name.clone(), baseline: None, current: per_item(c) });
+        }
+    }
+    deltas
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,5 +236,56 @@ mod tests {
         assert_eq!(results[0].get("median_ns").and_then(Json::as_u64), Some(2_000));
         assert_eq!(results[0].get("ns_per_item").and_then(Json::as_f64), Some(20.0));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn result(name: &str, median_ns: u128) -> BenchResult {
+        BenchResult {
+            name: name.into(),
+            work_items: 100,
+            min_ns: median_ns,
+            median_ns,
+            mean_ns: median_ns,
+            iters: 3,
+        }
+    }
+
+    #[test]
+    fn json_round_trips_through_load_results() {
+        let dir = std::env::temp_dir().join(format!("emac_bench_load_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("base.json");
+        let written = vec![result("a", 1_000), result("b", 5_000)];
+        write_json(&path, "suite", &[("rounds_per_call", 100)], &written).unwrap();
+        let loaded = load_results(&path).expect("parse own output");
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[0].name, "a");
+        assert_eq!(loaded[0].median_ns, 1_000);
+        assert_eq!(loaded[1].ns_per_item(), 50.0);
+        assert!(load_results(&dir.join("missing.json")).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compare_flags_only_real_regressions() {
+        let baseline =
+            vec![result("same", 1_000), result("faster", 1_000), result("slower", 1_000)];
+        let current = vec![
+            result("same", 1_050),   // +5%: within threshold
+            result("faster", 600),   // -40%: improvement
+            result("slower", 1_400), // +40%: regression
+            result("brand_new", 9_000),
+        ];
+        let deltas = compare_results(&baseline, &current);
+        assert_eq!(deltas.len(), 4);
+        let by_name = |n: &str| deltas.iter().find(|d| d.name == n).unwrap();
+        assert!(!by_name("same").regressed(25.0));
+        assert!(!by_name("faster").regressed(25.0));
+        assert!(by_name("faster").delta_pct().unwrap() < -30.0);
+        assert!(by_name("slower").regressed(25.0));
+        // new and removed benches are reported but never "regressed"
+        assert!(!by_name("brand_new").regressed(25.0));
+        assert_eq!(by_name("brand_new").delta_pct(), None);
+        let removed = compare_results(&baseline, &[]);
+        assert!(removed.iter().all(|d| d.current.is_none() && !d.regressed(25.0)));
     }
 }

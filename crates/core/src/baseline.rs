@@ -84,6 +84,13 @@ impl OnSchedule for RandomOnSchedule {
         out.extend_from_slice(&ids[..self.k]);
         out.sort_unstable();
     }
+
+    /// Explicitly aperiodic: the round number feeds the mixing function,
+    /// so no finite period exists and the engine must keep enumerating
+    /// per round (the shuffle scratch keeps that path allocation-free).
+    fn period(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Per-station protocol: transmit the oldest packet with probability 1/2

@@ -143,6 +143,11 @@ impl OnSchedule for KCliqueParams {
         out.extend(self.set_members(a));
         out.extend(self.set_members(b));
     }
+
+    /// The pair rotation repeats after `m` rounds.
+    fn period(&self) -> Option<u64> {
+        Some(self.pairs.len() as u64)
+    }
 }
 
 /// One station's replica of a pair's OF-RRW state.

@@ -43,6 +43,9 @@ pub struct KCycleParams {
     v: usize,
     /// Rounds each group stays active.
     delta: u64,
+    /// `forward_connector(g)` for each group, precomputed (read once per
+    /// station per awake round on the feedback path).
+    forwards: Vec<StationId>,
 }
 
 impl KCycleParams {
@@ -68,7 +71,14 @@ impl KCycleParams {
         let l = n.div_ceil(k - 1);
         let v = l * (k - 1);
         let delta = ((4 * (n - 1) * k) as u64 * num).div_ceil((n - k) as u64 * den).max(1);
-        Self { n, k, l, v, delta }
+        let forwards = (0..l)
+            .map(|g| {
+                let c = ((g + 1) * (k - 1)) % v;
+                debug_assert!(c < n, "forward connectors are always real stations");
+                c
+            })
+            .collect();
+        Self { n, k, l, v, delta, forwards }
     }
 
     /// Effective cap (after adjustment).
@@ -117,9 +127,7 @@ impl KCycleParams {
     /// The forward connector of group `g`: its last member, first member of
     /// group `g + 1`. Always a real station.
     pub fn forward_connector(&self, g: usize) -> StationId {
-        let c = ((g + 1) * (self.k - 1)) % self.v;
-        debug_assert!(c < self.n, "forward connectors are always real stations");
-        c
+        self.forwards[g]
     }
 }
 
@@ -142,6 +150,11 @@ impl OnSchedule for KCycleParams {
         }
         out.sort_unstable();
     }
+
+    /// One full rotation of the `ℓ` groups, `δ` rounds each.
+    fn period(&self) -> Option<u64> {
+        Some(self.delta * self.l as u64)
+    }
 }
 
 /// One station's replica of a group's OF-RRW state.
@@ -158,6 +171,17 @@ struct GroupReplica {
 pub struct KCycleStation {
     params: Arc<KCycleParams>,
     reps: Vec<GroupReplica>,
+    /// This station's home group (constant; `act` runs every awake round).
+    home: usize,
+    /// `active_group` memo for the current activity segment: any round in
+    /// `[seg_start, seg_end)` belongs to `cached_group`, so the 64-bit
+    /// division behind `active_group` runs once per segment per station
+    /// instead of twice per station per awake round. Bounded on both
+    /// sides, so out-of-order rounds (an external driver replaying a
+    /// protocol) still resolve correctly.
+    seg_start: Round,
+    seg_end: Round,
+    cached_group: usize,
 }
 
 impl KCycleStation {
@@ -172,7 +196,18 @@ impl KCycleStation {
                 marker: 0,
             })
             .collect();
-        Self { params, reps }
+        let home = params.home(id);
+        Self { params, reps, home, seg_start: 0, seg_end: 0, cached_group: 0 }
+    }
+
+    fn group_of_round(&mut self, round: Round) -> usize {
+        if round < self.seg_start || round >= self.seg_end {
+            let segment = round / self.params.delta;
+            self.cached_group = (segment % self.params.l as u64) as usize;
+            self.seg_start = segment * self.params.delta;
+            self.seg_end = self.seg_start + self.params.delta;
+        }
+        self.cached_group
     }
 
     fn replica_mut(&mut self, g: usize) -> Option<&mut GroupReplica> {
@@ -182,8 +217,8 @@ impl KCycleStation {
 
 impl Protocol for KCycleStation {
     fn act(&mut self, ctx: &ProtocolCtx, queue: &IndexedQueue) -> Action {
-        let g = self.params.active_group(ctx.round);
-        let home = self.params.home(ctx.id);
+        let g = self.group_of_round(ctx.round);
+        let home = self.home;
         let Some(rep) = self.replica_mut(g) else {
             // Scheduled awake only for own groups; anything else is a bug.
             return Action::Listen;
@@ -204,7 +239,7 @@ impl Protocol for KCycleStation {
         fb: Feedback<'_>,
         effects: &mut Effects,
     ) -> Wake {
-        let g = self.params.active_group(ctx.round);
+        let g = self.group_of_round(ctx.round);
         let forward = self.params.forward_connector(g);
         let Some(rep) = self.replica_mut(g) else {
             effects.flag("k-cycle: awake outside own groups");

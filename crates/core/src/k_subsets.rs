@@ -30,7 +30,7 @@ use emac_sim::{
 
 use crate::algorithm::Algorithm;
 use crate::balance::BalancedAllocator;
-use crate::combinatorics::{combinations, subset_masks};
+use crate::combinatorics::{combinations, subset_masks_packed};
 
 /// Shared geometry: the subset enumeration and the thread schedule.
 #[derive(Debug)]
@@ -38,17 +38,21 @@ pub struct KSubsetsParams {
     n: usize,
     k: usize,
     subsets: Vec<Vec<StationId>>,
+    /// Packed membership masks, `mask_words` words per subset (row-major),
+    /// so `n` is not limited by a single 64-bit word.
     masks: Vec<u64>,
+    mask_words: usize,
 }
 
 impl KSubsetsParams {
-    /// Geometry for `n ≤ 60` stations and cap `2 ≤ k < n`.
+    /// Geometry for `n` stations and cap `2 ≤ k < n` (the subset count
+    /// `C(n, k)` is guarded by [`combinations`]).
     pub fn new(n: usize, k: usize) -> Self {
-        assert!(n <= 60, "subset bitmasks need n <= 60");
         assert!(k >= 2 && k < n, "need 2 <= k < n");
         let subsets = combinations(n, k);
-        let masks = subset_masks(&subsets);
-        Self { n, k, subsets, masks }
+        let masks = subset_masks_packed(&subsets, n);
+        let mask_words = emac_sim::bitset::words_for(n);
+        Self { n, k, subsets, masks, mask_words }
     }
 
     /// Number of threads `γ = C(n, k)` (the schedule period and phase
@@ -74,7 +78,8 @@ impl KSubsetsParams {
 
     /// Whether `station ∈ A_t`.
     pub fn in_subset(&self, t: u32, station: StationId) -> bool {
-        self.masks[t as usize] & (1 << station) != 0
+        let row = &self.masks[t as usize * self.mask_words..(t as usize + 1) * self.mask_words];
+        emac_sim::bitset::row_get(row, station)
     }
 
     /// Threads whose subset contains `station` (ascending).
@@ -91,6 +96,11 @@ impl OnSchedule for KSubsetsParams {
     fn on_set_into(&self, _n: usize, round: Round, out: &mut Vec<StationId>) {
         out.clear();
         out.extend_from_slice(&self.subsets[self.thread_of_round(round) as usize]);
+    }
+
+    /// The subset enumeration repeats after `γ = C(n, k)` rounds.
+    fn period(&self) -> Option<u64> {
+        Some(self.gamma() as u64)
     }
 }
 

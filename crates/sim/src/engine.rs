@@ -19,6 +19,7 @@
 //! exactly once, never duplicated, never silently dropped — is verified
 //! centrally rather than trusted to the algorithms.
 
+use crate::bitset::BitSet;
 use crate::config::SimConfig;
 use crate::message::Message;
 use crate::metrics::{Metrics, QueueSample};
@@ -29,6 +30,7 @@ use crate::protocol::{
 };
 use crate::queue::IndexedQueue;
 use crate::rate::LeakyBucket;
+use crate::schedule::ScheduleTable;
 use crate::trace::{ChannelEvent, PacketOutcome, RoundTrace, Trace};
 use crate::validate::Violations;
 
@@ -59,19 +61,27 @@ pub struct Simulator {
     bucket: LeakyBucket,
     injections_on: bool,
     round: Round,
+    /// Next round to sample the queue series (round 0, then every
+    /// `cfg.sample_every` — a running mark instead of a per-round modulo).
+    next_sample: Round,
     next_packet_id: u64,
     metrics: Metrics,
     violations: Violations,
     // adversary view state
-    prev_awake: Vec<bool>,
+    prev_awake: BitSet,
     on_counts: Vec<u64>,
     last_on: Vec<Option<Round>>,
     queue_sizes: Vec<usize>,
-    awake_mask: Vec<bool>,
+    awake_mask: BitSet,
+    /// One period of the schedule, expanded into packed rows at
+    /// construction (`None` for adaptive algorithms, aperiodic schedules,
+    /// and periods over the table budget — those enumerate per round).
+    cache: Option<ScheduleTable>,
     // per-round scratch buffers, reused so the steady-state round loop
     // performs no heap allocation
     awake: Vec<StationId>,
     transmissions: Vec<(StationId, Message)>,
+    plan: Vec<Injection>,
     trace: Option<Trace>,
     traced_injections: Vec<(StationId, StationId)>,
 }
@@ -108,6 +118,10 @@ impl Simulator {
             }
         }
         let bucket = LeakyBucket::new(cfg.rho, cfg.beta);
+        let cache = match &wake {
+            WakeMode::Scheduled(s) => ScheduleTable::build(s.as_ref(), n),
+            WakeMode::Adaptive => None,
+        };
         Self {
             name,
             class,
@@ -119,16 +133,19 @@ impl Simulator {
             bucket,
             injections_on: true,
             round: 0,
+            next_sample: 0,
             next_packet_id: 0,
             metrics: Metrics::sized(n),
             violations: Violations::default(),
-            prev_awake: vec![false; n],
+            prev_awake: BitSet::new(n),
             on_counts: vec![0; n],
             last_on: vec![None; n],
             queue_sizes: vec![0; n],
-            awake_mask: vec![false; n],
+            awake_mask: BitSet::new(n),
+            cache,
             awake: Vec::with_capacity(n),
             transmissions: Vec::with_capacity(n),
+            plan: Vec::new(),
             trace: None,
             traced_injections: Vec::new(),
             cfg,
@@ -161,11 +178,12 @@ impl Simulator {
         let r = self.round;
         let n = self.cfg.n;
 
-        // 1. Adversarial injection.
+        // 1. Adversarial injection (planned into a reused scratch buffer,
+        // so injecting rounds stay allocation-free in steady state).
         if self.injections_on {
             let budget = self.bucket.refill();
-            for i in 0..n {
-                self.queue_sizes[i] = self.queues[i].len();
+            for (size, queue) in self.queue_sizes.iter_mut().zip(&self.queues) {
+                *size = queue.len();
             }
             let view = SystemView {
                 round: r,
@@ -175,22 +193,35 @@ impl Simulator {
                 on_counts: &self.on_counts,
                 last_on: &self.last_on,
             };
-            let mut plan = self.adversary.plan(r, budget, &view);
+            let mut plan = std::mem::take(&mut self.plan);
+            self.adversary.plan_into(r, budget, &view, &mut plan);
             plan.truncate(budget);
             self.bucket.debit(plan.len());
             if self.trace.is_some() {
                 self.traced_injections = plan.iter().map(|i| (i.station, i.dest)).collect();
             }
-            for inj in plan {
+            for &inj in &plan {
                 self.inject(inj, r);
             }
+            self.plan = plan; // keep the buffer's capacity for next round
         }
 
-        // 2. Wake-set determination, into the reusable scratch buffer.
-        match &self.wake {
-            WakeMode::Scheduled(s) => s.on_set_into(n, r, &mut self.awake),
-            WakeMode::Adaptive => {
+        // 2. Wake-set determination, into the reusable scratch buffer. For
+        // cached periodic schedules this is a packed row copy; otherwise
+        // the schedule (or the stations' timers) enumerates, and the mask
+        // is rebuilt bit by bit.
+        match (&self.cache, &self.wake) {
+            (Some(table), _) => table.fill(r, &mut self.awake_mask, &mut self.awake),
+            (None, WakeMode::Scheduled(s)) => {
+                s.on_set_into(n, r, &mut self.awake);
+                self.awake_mask.clear();
+                for i in 0..self.awake.len() {
+                    self.awake_mask.insert(self.awake[i]);
+                }
+            }
+            (None, WakeMode::Adaptive) => {
                 self.awake.clear();
+                self.awake_mask.clear();
                 for s in 0..n {
                     if let Power::OffUntil(w) = self.power[s] {
                         if w <= r {
@@ -199,15 +230,13 @@ impl Simulator {
                     }
                     if self.power[s] == Power::On {
                         self.awake.push(s);
+                        self.awake_mask.insert(s);
                     }
                 }
             }
         }
         let awake_count = self.awake.len();
-        self.awake_mask.fill(false);
-        for i in 0..awake_count {
-            let s = self.awake[i];
-            self.awake_mask[s] = true;
+        for &s in &self.awake {
             self.on_counts[s] += 1;
             self.last_on[s] = Some(r);
         }
@@ -260,7 +289,7 @@ impl Simulator {
                     self.metrics.packet_rounds += 1;
                     self.queues[sender].remove(p.id).expect("custody verified above");
                     self.metrics.total_queued -= 1;
-                    let delivered = self.awake_mask[p.dest];
+                    let delivered = self.awake_mask.contains(p.dest);
                     if delivered {
                         self.metrics.delivered += 1;
                         self.metrics.delivered_per_dest[p.dest] += 1;
@@ -280,14 +309,15 @@ impl Simulator {
         };
         let collided = self.transmissions.len() > 1;
 
-        // 5. Feedback, adoption, sleep decisions.
+        // 5. Feedback, adoption, sleep decisions. Every switched-on station
+        // observes the same channel outcome.
+        let fb = match (&heard_message, collided) {
+            (_, true) => Feedback::Collision,
+            (Some(m), false) => Feedback::Heard(m),
+            (None, false) => Feedback::Silence,
+        };
         for i in 0..awake_count {
             let s = self.awake[i];
-            let fb = match (&heard_message, collided) {
-                (_, true) => Feedback::Collision,
-                (Some(m), false) => Feedback::Heard(m),
-                (None, false) => Feedback::Silence,
-            };
             let ctx = ProtocolCtx { id: s, n, cap: self.cfg.cap, round: r };
             let mut effects = Effects::default();
             let wake = self.protocols[s].on_feedback(&ctx, &self.queues[s], fb, &mut effects);
@@ -344,14 +374,13 @@ impl Simulator {
         self.metrics.rounds += 1;
         self.metrics.max_total_queued =
             self.metrics.max_total_queued.max(self.metrics.total_queued);
-        if r.is_multiple_of(self.cfg.sample_every) {
+        if r == self.next_sample {
             self.metrics
                 .queue_series
                 .push(QueueSample { round: r, total_queued: self.metrics.total_queued });
+            self.next_sample = r.saturating_add(self.cfg.sample_every);
         }
-        for (s, m) in self.awake_mask.iter().zip(self.prev_awake.iter_mut()) {
-            *m = *s;
-        }
+        self.prev_awake.copy_from(&self.awake_mask);
         self.round += 1;
     }
 

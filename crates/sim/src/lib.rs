@@ -66,6 +66,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bitset;
 pub mod config;
 pub mod engine;
 pub mod message;
@@ -76,9 +77,11 @@ pub mod protocol;
 pub mod queue;
 pub mod rate;
 pub mod rng;
+pub mod schedule;
 pub mod trace;
 pub mod validate;
 
+pub use bitset::BitSet;
 pub use config::SimConfig;
 pub use engine::Simulator;
 pub use message::{bits_for, BitReader, ControlBits, Message};
@@ -92,5 +95,6 @@ pub use protocol::{
 pub use queue::{IndexedQueue, QueuedPacket};
 pub use rate::{LeakyBucket, Rate};
 pub use rng::SmallRng;
+pub use schedule::ScheduleTable;
 pub use trace::{ChannelEvent, PacketOutcome, RoundTrace, Trace};
 pub use validate::{ProtocolFlag, Violations};

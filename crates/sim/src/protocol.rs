@@ -16,6 +16,7 @@
 
 use std::sync::Arc;
 
+use crate::bitset::BitSet;
 use crate::message::Message;
 use crate::packet::{Injection, Round, StationId};
 use crate::queue::{IndexedQueue, QueuedPacket};
@@ -170,6 +171,17 @@ pub trait OnSchedule: Send + Sync {
         self.on_set_into(n, round, &mut out);
         out
     }
+
+    /// The schedule's period, when it has one: `on_set(n, r)` must equal
+    /// `on_set(n, r % period)` for **every** round `r`. The engine uses
+    /// this hint to expand one full period into a packed
+    /// [`crate::schedule::ScheduleTable`] at construction time, replacing
+    /// per-round enumeration with a row copy. The default — and the honest
+    /// answer for aperiodic schedules such as the pseudorandom duty-cycle
+    /// baseline — is `None`, which keeps the per-round `on_set_into` path.
+    fn period(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Wake discipline of a built algorithm.
@@ -243,8 +255,10 @@ pub struct SystemView<'a> {
     pub n: usize,
     /// Queue length of each station at the end of the previous round.
     pub queue_sizes: &'a [usize],
-    /// Which stations were switched on in the previous round.
-    pub prev_awake: &'a [bool],
+    /// Which stations were switched on in the previous round, as a packed
+    /// bit set: membership is `prev_awake.contains(s)`, enumeration is
+    /// `prev_awake.iter()` (ascending, word-wise — no O(n) bool scan).
+    pub prev_awake: &'a BitSet,
     /// Cumulative on-rounds per station.
     pub on_counts: &'a [u64],
     /// Most recent round each station was switched on, if ever.
@@ -256,19 +270,51 @@ pub struct SystemView<'a> {
 /// `budget` is the number of packets the leaky bucket allows this round; the
 /// engine truncates any excess, so implementations cannot exceed their type.
 ///
+/// The two planning methods are defaulted in terms of each other, so an
+/// implementation **must override at least one** (overriding neither
+/// recurses forever). Simple adversaries implement [`Adversary::plan`];
+/// hot-path adversaries implement [`Adversary::plan_into`], which the
+/// engine calls with a reused scratch buffer so injecting rounds stay
+/// allocation-free in steady state.
+///
 /// Adversaries are `Send` for the same reason protocols are: a whole
 /// simulated system must be movable onto a campaign worker thread.
 pub trait Adversary: Send {
-    /// Plan the injections for `round`.
-    fn plan(&mut self, round: Round, budget: usize, view: &SystemView<'_>) -> Vec<Injection>;
+    /// Plan the injections for `round`, as a freshly allocated vector.
+    fn plan(&mut self, round: Round, budget: usize, view: &SystemView<'_>) -> Vec<Injection> {
+        let mut out = Vec::new();
+        self.plan_into(round, budget, view, &mut out);
+        out
+    }
+
+    /// Plan the injections for `round` into a caller-owned buffer. `out`
+    /// is cleared first; its capacity is reused, which is what keeps the
+    /// engine's injecting rounds allocation-free in steady state. The
+    /// default shims over [`Adversary::plan`].
+    fn plan_into(
+        &mut self,
+        round: Round,
+        budget: usize,
+        view: &SystemView<'_>,
+        out: &mut Vec<Injection>,
+    ) {
+        out.clear();
+        out.extend(self.plan(round, budget, view));
+    }
 }
 
 /// Convenience: a no-op adversary (no injections ever).
 pub struct NoInjections;
 
 impl Adversary for NoInjections {
-    fn plan(&mut self, _round: Round, _budget: usize, _view: &SystemView<'_>) -> Vec<Injection> {
-        Vec::new()
+    fn plan_into(
+        &mut self,
+        _round: Round,
+        _budget: usize,
+        _view: &SystemView<'_>,
+        out: &mut Vec<Injection>,
+    ) {
+        out.clear();
     }
 }
 
@@ -340,6 +386,49 @@ mod tests {
         let s = EveryOther;
         assert_eq!(s.on_set(4, 0), vec![0, 2]);
         assert_eq!(s.on_set(4, 1), vec![1, 3]);
+        assert_eq!(s.period(), None, "the default period hint is honest ignorance");
+    }
+
+    #[test]
+    fn adversary_defaults_shim_between_plan_and_plan_into() {
+        // An adversary implementing only `plan` works through `plan_into`
+        // (the engine's entry point), and one implementing only `plan_into`
+        // works through `plan` (the convenience entry point).
+        struct PlanOnly;
+        impl Adversary for PlanOnly {
+            fn plan(&mut self, _r: Round, budget: usize, _v: &SystemView<'_>) -> Vec<Injection> {
+                (0..budget).map(|_| Injection::new(0, 1)).collect()
+            }
+        }
+        struct IntoOnly;
+        impl Adversary for IntoOnly {
+            fn plan_into(
+                &mut self,
+                _r: Round,
+                budget: usize,
+                _v: &SystemView<'_>,
+                out: &mut Vec<Injection>,
+            ) {
+                out.clear();
+                out.extend((0..budget).map(|_| Injection::new(1, 0)));
+            }
+        }
+        let qs = vec![0usize; 2];
+        let pa = BitSet::new(2);
+        let oc = vec![0u64; 2];
+        let lo = vec![None; 2];
+        let v = SystemView {
+            round: 0,
+            n: 2,
+            queue_sizes: &qs,
+            prev_awake: &pa,
+            on_counts: &oc,
+            last_on: &lo,
+        };
+        let mut buf = vec![Injection::new(9, 9)]; // stale contents must be cleared
+        PlanOnly.plan_into(0, 2, &v, &mut buf);
+        assert_eq!(buf, vec![Injection::new(0, 1); 2]);
+        assert_eq!(IntoOnly.plan(0, 3, &v), vec![Injection::new(1, 0); 3]);
     }
 
     #[test]

@@ -22,8 +22,38 @@
 //! push, which dominated the allocation profile of long stability sweeps.)
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::packet::{Packet, PacketId, Round, StationId};
+
+/// Multiply-mix hasher for the `PacketId → slot` index. Packet ids are
+/// dense sequential `u64`s and the map is only ever point-queried (never
+/// iterated), so the default SipHash buys nothing here but costs a
+/// meaningful slice of every delivery; one odd-constant multiply mixes the
+/// id into the table's high bits deterministically on every platform.
+#[derive(Default)]
+struct IdHasher(u64);
+
+impl Hasher for IdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // generic fallback (FNV-1a); the id index only ever hashes u64s
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, i: u64) {
+        let mut h = i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        h ^= h >> 29;
+        self.0 = h;
+    }
+}
+
+type IdIndex = HashMap<PacketId, usize, BuildHasherDefault<IdHasher>>;
 
 /// A packet at rest in a station's queue, with arrival bookkeeping.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -62,7 +92,7 @@ pub struct IndexedQueue {
     /// Newest live slot (back of the arrival order).
     tail: usize,
     len: usize,
-    slot_of: HashMap<PacketId, usize>,
+    slot_of: IdIndex,
     dest_counts: Vec<usize>,
     next_seq: u64,
 }
@@ -82,7 +112,7 @@ impl IndexedQueue {
             head: NIL,
             tail: NIL,
             len: 0,
-            slot_of: HashMap::new(),
+            slot_of: IdIndex::default(),
             dest_counts: vec![0; n],
             next_seq: 0,
         }

@@ -112,4 +112,29 @@ fn steady_state_steps_do_not_allocate() {
     sim.run(256);
     let (allocs, deallocs) = count_allocs(&mut sim, 4_096);
     assert_eq!((allocs, deallocs), (0, 0), "duty-cycle schedule must reuse its shuffle scratch");
+
+    // --- Case 4: rounds with a positive injection budget and a live
+    // adversary. The adversary plans through `plan_into` into the engine's
+    // reused buffer, and the stable load keeps every queue at or below the
+    // high-water mark reached during warm-up, so even rounds that inject,
+    // route, and deliver touch the allocator zero times.
+    let rho = emac_core::bounds::k_cycle_rate_threshold(16, 4).scaled(4, 5);
+    let cfg =
+        emac_sim::SimConfig::new(16, 4).adversary_type(rho, Rate::integer(2)).sample_every(1 << 40);
+    let mut sim = Simulator::new(cfg, KCycle::new(4).build(16), Box::new(UniformRandom::new(2)));
+    sim.run(60_000);
+    let injected_before = sim.metrics().injected;
+    let delivered_before = sim.metrics().delivered;
+    let (allocs, deallocs) = count_allocs(&mut sim, 4_096);
+    assert!(
+        sim.metrics().injected > injected_before + 100,
+        "window must contain many positive-budget injecting rounds"
+    );
+    assert!(sim.metrics().delivered > delivered_before, "window must deliver packets");
+    assert_eq!(
+        (allocs, deallocs),
+        (0, 0),
+        "injecting steady-state rounds must not touch the allocator"
+    );
+    assert!(sim.violations().is_clean(), "{}", sim.violations());
 }
