@@ -10,7 +10,8 @@
 //!   (paper §6 closing remark).
 //!
 //! All sections declare their sweeps as campaign scenarios and execute in
-//! one parallel campaign.
+//! one parallel campaign, streamed: reports are scored and dropped as they
+//! complete rather than buffered.
 //!
 //! ```text
 //! cargo run --release -p emac-bench --bin ablations

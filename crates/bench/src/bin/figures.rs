@@ -5,15 +5,18 @@
 //! frontier of an oblivious algorithm, and the energy–latency trade-off.
 //!
 //! Each figure declares its sweep as campaign scenarios and executes them
-//! in parallel through [`emac_bench::run_all`].
+//! in parallel through the **streaming** harness ([`emac_bench::run_streamed`]):
+//! reports are reduced to the few scalars a figure plots the moment they
+//! complete, so a wider sweep costs no extra memory. Only F1 opts into
+//! full metrics detail — its subject *is* the queue-size time series.
 //!
 //! ```text
 //! cargo run --release -p emac-bench --bin figures
 //! # series land in results/*.csv
 //! ```
 
-use emac_bench::{run_all, write_csv};
-use emac_core::campaign::ScenarioSpec;
+use emac_bench::{run_streamed, run_streamed_with, write_csv};
+use emac_core::campaign::{MetricsDetail, ScenarioSpec};
 use emac_core::prelude::*;
 use emac_sim::Rate;
 
@@ -42,19 +45,18 @@ fn f1_queue_growth() -> std::io::Result<()> {
                 .flood(0, 2)
         })
         .collect();
-    let reports = run_all(&specs);
-    let (orch, ch) = (&reports[0], &reports[1]);
-    let rows: Vec<String> = orch
-        .metrics
-        .queue_series
+    let mut series: Vec<Vec<(u64, u64)>> = vec![Vec::new(); specs.len()];
+    let mut slopes = vec![0.0f64; specs.len()];
+    run_streamed_with(MetricsDetail::Full, &specs, |i, report| {
+        series[i] = report.metrics.queue_series.iter().map(|s| (s.round, s.total_queued)).collect();
+        slopes[i] = report.stability.slope;
+    });
+    let rows: Vec<String> = series[0]
         .iter()
-        .zip(ch.metrics.queue_series.iter())
-        .map(|(a, b)| format!("{},{},{}", a.round, a.total_queued, b.total_queued))
+        .zip(series[1].iter())
+        .map(|(a, b)| format!("{},{},{}", a.0, a.1, b.1))
         .collect();
-    println!(
-        "F1: Orchestra slope {:+.4}, Count-Hop slope {:+.4}",
-        orch.stability.slope, ch.stability.slope
-    );
+    println!("F1: Orchestra slope {:+.4}, Count-Hop slope {:+.4}", slopes[0], slopes[1]);
     write_csv("results/f1_queue_growth.csv", "round,orchestra_cap3,counthop_cap2", &rows)
 }
 
@@ -83,17 +85,13 @@ fn f2_latency_vs_rho() -> std::io::Result<()> {
                 .seed(p),
         );
     }
-    let reports = run_all(&specs);
+    let mut latencies = vec![0u64; specs.len()];
+    run_streamed(&specs, |i, report| latencies[i] = report.latency());
     let mut rows = Vec::new();
     for (i, &p) in rhos.iter().enumerate() {
-        let (ch, aw) = (&reports[2 * i], &reports[2 * i + 1]);
-        rows.push(format!("{},{},{}", Rate::new(p, 10).as_f64(), ch.latency(), aw.latency()));
-        println!(
-            "F2: rho={:.1} count-hop {} adjust-window {}",
-            Rate::new(p, 10).as_f64(),
-            ch.latency(),
-            aw.latency()
-        );
+        let (ch, aw) = (latencies[2 * i], latencies[2 * i + 1]);
+        rows.push(format!("{},{ch},{aw}", Rate::new(p, 10).as_f64()));
+        println!("F2: rho={:.1} count-hop {ch} adjust-window {aw}", Rate::new(p, 10).as_f64());
     }
     write_csv("results/f2_latency_vs_rho.csv", "rho,counthop_latency,adjustwindow_latency", &rows)
 }
@@ -131,17 +129,13 @@ fn f3_latency_vs_n() -> std::io::Result<()> {
                 .seed(3),
         );
     }
-    let reports = run_all(&specs);
+    let mut latencies = vec![0u64; specs.len()];
+    run_streamed(&specs, |i, report| latencies[i] = report.latency());
     let mut rows = Vec::new();
     for (i, &n) in ns.iter().enumerate() {
-        let (ch, kc, kq) = (&reports[3 * i], &reports[3 * i + 1], &reports[3 * i + 2]);
-        rows.push(format!("{n},{},{},{}", ch.latency(), kc.latency(), kq.latency()));
-        println!(
-            "F3: n={n} count-hop {} k-cycle {} k-clique {}",
-            ch.latency(),
-            kc.latency(),
-            kq.latency()
-        );
+        let (ch, kc, kq) = (latencies[3 * i], latencies[3 * i + 1], latencies[3 * i + 2]);
+        rows.push(format!("{n},{ch},{kc},{kq}"));
+        println!("F3: n={n} count-hop {ch} k-cycle {kc} k-clique {kq}");
     }
     write_csv(
         "results/f3_latency_vs_n.csv",
@@ -169,16 +163,14 @@ fn f4_stability_frontier() -> std::io::Result<()> {
                 .horizon(horizon)
         })
         .collect();
-    let reports = run_all(&specs);
+    let mut frontier = vec![(0.0f64, String::new()); specs.len()];
+    run_streamed(&specs, |i, report| {
+        frontier[i] = (report.stability.slope, format!("{:?}", report.stability.verdict));
+    });
     let mut rows = Vec::new();
-    for (s, r) in specs.iter().zip(&reports) {
-        println!(
-            "F4: rho={:.3} slope {:+.4} {:?}",
-            s.rho.as_f64(),
-            r.stability.slope,
-            r.stability.verdict
-        );
-        rows.push(format!("{},{},{:?}", s.rho.as_f64(), r.stability.slope, r.stability.verdict));
+    for (s, (slope, verdict)) in specs.iter().zip(&frontier) {
+        println!("F4: rho={:.3} slope {slope:+.4} {verdict}", s.rho.as_f64());
+        rows.push(format!("{},{slope},{verdict}", s.rho.as_f64()));
     }
     write_csv("results/f4_stability_frontier.csv", "rho,slope,verdict", &rows)
 }
@@ -210,24 +202,18 @@ fn f5_energy_tradeoff() -> std::io::Result<()> {
                 .seed(5),
         );
     }
-    let reports = run_all(&specs);
+    let mut measured = vec![(0u64, 0.0f64); specs.len()];
+    run_streamed(&specs, |i, report| {
+        measured[i] = (report.latency(), report.metrics.energy_per_round());
+    });
     let mut rows = Vec::new();
     for (i, &k) in ks.iter().enumerate() {
-        let (kc, kq) = (&reports[2 * i], &reports[2 * i + 1]);
+        let ((kc_lat, kc_e), (kq_lat, kq_e)) = (measured[2 * i], measured[2 * i + 1]);
         println!(
-            "F5: k={k} k-cycle latency {} energy {:.2} | k-clique latency {} energy {:.2}",
-            kc.latency(),
-            kc.metrics.energy_per_round(),
-            kq.latency(),
-            kq.metrics.energy_per_round()
+            "F5: k={k} k-cycle latency {kc_lat} energy {kc_e:.2} | \
+             k-clique latency {kq_lat} energy {kq_e:.2}"
         );
-        rows.push(format!(
-            "{k},{},{:.3},{},{:.3}",
-            kc.latency(),
-            kc.metrics.energy_per_round(),
-            kq.latency(),
-            kq.metrics.energy_per_round()
-        ));
+        rows.push(format!("{k},{kc_lat},{kc_e:.3},{kq_lat},{kq_e:.3}"));
     }
     write_csv(
         "results/f5_energy_tradeoff.csv",

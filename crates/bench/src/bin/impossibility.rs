@@ -1,7 +1,8 @@
 //! Constructive demonstrations of the paper's three impossibility results
 //! (Table 1 rows 2, 6 and 9): run the matching adversary just above the
 //! proven threshold and watch queues grow linearly; run just below it for
-//! contrast. All theorems' sweeps execute through one parallel campaign.
+//! contrast. All theorems' sweeps execute through one parallel campaign,
+//! streamed and scored as each report completes.
 //!
 //! ```text
 //! cargo run --release -p emac-bench --bin impossibility

@@ -3,7 +3,9 @@
 //! size or latency against the paper's bound.
 //!
 //! Every row *declares* its sweep as campaign scenarios; all rows execute
-//! through one parallel [`emac_core::campaign::Campaign`].
+//! through one parallel **streaming** [`emac_core::campaign::Campaign`] —
+//! each report is scored against its bound the moment it completes and
+//! dropped, so the sweep's memory footprint is per-worker, not per-row.
 //!
 //! ```text
 //! cargo run --release -p emac-bench --bin table1

@@ -7,6 +7,13 @@
 //! [`execute_rows`] runs everything through one parallel
 //! [`emac_core::campaign::Campaign`] over the shared
 //! [`emac::registry::Registry`] — no binary hand-rolls a serial sweep loop.
+//!
+//! Sweeps **stream**: each report is consumed the moment the campaign
+//! hands it over (in spec order) and dropped, via [`run_streamed`] — by
+//! default with [`MetricsDetail::Slim`], so a binary's peak memory is
+//! independent of how many scenarios it sweeps. A consumer that needs the
+//! full per-run series (F1's queue-growth figure) opts back into
+//! [`MetricsDetail::Full`] through [`run_streamed_with`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -14,7 +21,7 @@
 pub mod timing;
 
 use emac::registry::Registry;
-use emac_core::campaign::{Campaign, ScenarioSpec};
+use emac_core::campaign::{Campaign, FnSink, MetricsDetail, ScenarioRun, ScenarioSpec};
 use emac_core::RunReport;
 
 /// One measured-vs-bound comparison line.
@@ -160,31 +167,46 @@ impl Planned {
     }
 }
 
-/// Run every spec in parallel through the shared registry and return the
-/// reports in spec order. Bench sweeps are statically known-good, so a
-/// scenario error (an impossible name, say) aborts with a message.
-pub fn run_all(specs: &[ScenarioSpec]) -> Vec<RunReport> {
-    let result = Campaign::new().run(specs, &Registry);
-    result
-        .runs
-        .into_iter()
-        .map(|run| match run.outcome {
-            Ok(report) => report,
-            Err(e) => {
-                eprintln!("scenario {} failed: {e}", run.spec.display_label());
-                std::process::exit(2);
-            }
-        })
-        .collect()
+/// Run every spec in parallel through the shared registry, streaming each
+/// report — slimmed to scalars ([`MetricsDetail::Slim`]) — to `consume` in
+/// spec order the moment it completes, then dropping it. Peak memory is
+/// one in-flight report per worker, independent of sweep width. Bench
+/// sweeps are statically known-good, so a scenario error (an impossible
+/// name, say) aborts with a message.
+pub fn run_streamed(specs: &[ScenarioSpec], consume: impl FnMut(usize, RunReport) + Send) {
+    run_streamed_with(MetricsDetail::Slim, specs, consume);
 }
 
-/// Execute titled rows of plans through **one** campaign, print each row,
-/// and return whether every comparison was clean and within bound.
+/// [`run_streamed`] with an explicit metrics detail — `Full` for consumers
+/// that read the per-run queue series or delay histogram.
+pub fn run_streamed_with(
+    detail: MetricsDetail,
+    specs: &[ScenarioSpec],
+    mut consume: impl FnMut(usize, RunReport) + Send,
+) {
+    let mut sink = FnSink(|index: usize, run: ScenarioRun| match run.outcome {
+        Ok(report) => {
+            consume(index, report);
+            Ok(())
+        }
+        Err(e) => Err(format!("scenario {} failed: {e}", run.spec.display_label())),
+    });
+    if let Err(e) = Campaign::new().detail(detail).run_into(specs, &Registry, &mut sink) {
+        eprintln!("{e}");
+        std::process::exit(2);
+    }
+}
+
+/// Execute titled rows of plans through **one** streaming campaign, print
+/// each row, and return whether every comparison was clean and within
+/// bound. Each report is scored into its small [`Comparison`] as it
+/// completes and dropped — only the comparisons are held.
 pub fn execute_rows(rows: Vec<(String, Vec<Planned>)>) -> bool {
     let flat: Vec<&Planned> = rows.iter().flat_map(|(_, plans)| plans).collect();
     let specs: Vec<ScenarioSpec> = flat.iter().map(|p| p.spec.clone()).collect();
-    let reports = run_all(&specs);
-    let mut scored = flat.iter().zip(&reports).map(|(p, r)| p.comparison(r));
+    let mut comparisons: Vec<Option<Comparison>> = (0..flat.len()).map(|_| None).collect();
+    run_streamed(&specs, |i, report| comparisons[i] = Some(flat[i].comparison(&report)));
+    let mut scored = comparisons.into_iter().map(|c| c.expect("one report per plan"));
     let mut all_ok = true;
     for (title, plans) in &rows {
         let comparisons: Vec<Comparison> =

@@ -1,0 +1,359 @@
+//! Campaign checkpoints: crash-safe progress tracking for long sweeps.
+//!
+//! A [`Checkpoint`] is a small append-only text file (`campaign.ckpt`,
+//! conventionally next to the campaign's output) recording which scenario
+//! indices have been durably written to the result sink. The executor
+//! appends one fsync'd line per completed scenario only **after** the
+//! sink accepted the row *and* made it durable
+//! ([`ResultSink::sync`](super::sink::ResultSink::sync)), so a crash at
+//! any instant leaves the checkpoint claiming no more than the output
+//! holds. The opposite overhang — complete or torn output rows whose
+//! checkpoint line never landed — is reconciled at resume time by
+//! truncating the output back to exactly the checkpointed rows
+//! ([`truncate_after_lines`]); those scenarios re-execute, so a resumed
+//! campaign's final output is byte-identical to an uninterrupted run.
+//!
+//! The header pins a digest of the full spec list ([`spec_list_digest`]),
+//! so resuming against an edited spec file is refused instead of silently
+//! producing a frankenstein result.
+//!
+//! # File format
+//!
+//! ```text
+//! emac-campaign-ckpt v1
+//! digest 4a3f9c0e12b45d67
+//! total 128
+//! done 0
+//! done 1
+//! …
+//! ```
+//!
+//! Lines are appended in completion (= spec) order, but the parser accepts
+//! any subset; a torn trailing line (no final newline, from a mid-write
+//! kill) is ignored.
+
+use std::collections::BTreeSet;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use super::ScenarioSpec;
+use crate::digest::Fnv64;
+
+const MAGIC: &str = "emac-campaign-ckpt v1";
+
+/// FNV-1a digest of a spec list: the scenario count followed by every
+/// spec's canonical compact JSON rendering. Two spec files that expand to
+/// the same scenarios in the same order digest identically; any reorder,
+/// edit, insertion, or deletion changes it.
+pub fn spec_list_digest(specs: &[ScenarioSpec]) -> u64 {
+    let mut h = Fnv64::new();
+    h.usize(specs.len());
+    for spec in specs {
+        h.str(&spec.to_json().render());
+    }
+    h.finish()
+}
+
+/// Persistent record of completed scenario indices — see the module docs
+/// for the file format and durability contract.
+#[derive(Debug)]
+pub struct Checkpoint {
+    path: PathBuf,
+    total: usize,
+    done: BTreeSet<usize>,
+    file: File,
+}
+
+impl Checkpoint {
+    /// Start a fresh checkpoint at `path` (truncating any previous one)
+    /// for a campaign of `total` scenarios whose spec list digests to
+    /// `digest`. The header is written and fsync'd before returning.
+    pub fn fresh(path: &Path, digest: u64, total: usize) -> Result<Self, String> {
+        let mut file =
+            File::create(path).map_err(|e| format!("checkpoint {}: {e}", path.display()))?;
+        file.write_all(format!("{MAGIC}\ndigest {digest:016x}\ntotal {total}\n").as_bytes())
+            .and_then(|()| file.sync_all())
+            .map_err(|e| format!("checkpoint {}: {e}", path.display()))?;
+        Ok(Self { path: path.to_path_buf(), total, done: BTreeSet::new(), file })
+    }
+
+    /// Resume from the checkpoint at `path`, verifying that it belongs to
+    /// this spec list (`digest`, `total`). A missing file starts fresh —
+    /// `--resume` on a never-started campaign just runs it. A digest or
+    /// count mismatch is refused.
+    pub fn resume(path: &Path, digest: u64, total: usize) -> Result<Self, String> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Self::fresh(path, digest, total);
+            }
+            Err(e) => return Err(format!("checkpoint {}: {e}", path.display())),
+        };
+        let done = parse_body(&text, digest, total)
+            .map_err(|e| format!("checkpoint {}: {e}", path.display()))?;
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("checkpoint {}: {e}", path.display()))?;
+        Ok(Self { path: path.to_path_buf(), total, done, file })
+    }
+
+    /// Record scenario `index` as durably written. Appends one line and
+    /// fsyncs it before returning, so a completed scenario survives any
+    /// later crash.
+    pub fn record(&mut self, index: usize) -> Result<(), String> {
+        debug_assert!(index < self.total);
+        writeln!(self.file, "done {index}")
+            .and_then(|()| self.file.sync_data())
+            .map_err(|e| format!("checkpoint {}: {e}", self.path.display()))?;
+        self.done.insert(index);
+        Ok(())
+    }
+
+    /// Whether scenario `index` is already recorded.
+    pub fn is_done(&self, index: usize) -> bool {
+        self.done.contains(&index)
+    }
+
+    /// Number of recorded scenarios.
+    pub fn completed(&self) -> usize {
+        self.done.len()
+    }
+
+    /// Total scenarios in the campaign this checkpoint tracks.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// The spec indices still to run, in spec order — feed this to
+    /// [`Campaign::run_subset`](super::Campaign::run_subset).
+    pub fn remaining(&self) -> Vec<usize> {
+        (0..self.total).filter(|i| !self.done.contains(i)).collect()
+    }
+}
+
+/// Reconcile a streaming output file with its checkpoint before resuming:
+/// keep exactly the first `lines` newline-terminated lines (the header, if
+/// any, plus one row per checkpointed scenario) and truncate everything
+/// after them — unrecorded complete rows (kill between output fsync and
+/// checkpoint append) and torn trailing fragments (kill mid-write) alike.
+/// The dropped scenarios re-execute, so the resumed output stays
+/// byte-identical to an uninterrupted run.
+///
+/// Returns `Ok(Some(dropped_bytes))` on success, or `Ok(None)` if the
+/// file holds *fewer* complete lines than the checkpoint records — an
+/// inconsistency (e.g. a manually edited or replaced output file) the
+/// caller must refuse to resume from. Streams in fixed-size chunks, so
+/// arbitrarily large outputs reconcile in constant memory.
+pub fn truncate_after_lines(path: &Path, lines: u64) -> std::io::Result<Option<u64>> {
+    let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+    let len = file.metadata()?.len();
+    if lines == 0 {
+        if len != 0 {
+            file.set_len(0)?;
+            file.sync_data()?;
+        }
+        return Ok(Some(len));
+    }
+    let mut buf = [0u8; 8192];
+    let mut seen = 0u64;
+    let mut keep = 0u64;
+    file.seek(SeekFrom::Start(0))?;
+    'scan: loop {
+        let n = file.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        for (i, &b) in buf[..n].iter().enumerate() {
+            if b == b'\n' {
+                seen += 1;
+                if seen == lines {
+                    keep = keep + i as u64 + 1;
+                    break 'scan;
+                }
+            }
+        }
+        keep += n as u64;
+    }
+    if seen < lines {
+        return Ok(None);
+    }
+    if keep != len {
+        file.set_len(keep)?;
+        file.sync_data()?;
+    }
+    Ok(Some(len - keep))
+}
+
+fn parse_body(text: &str, digest: u64, total: usize) -> Result<BTreeSet<usize>, String> {
+    let mut lines = text.split('\n');
+    if lines.next() != Some(MAGIC) {
+        return Err("not a campaign checkpoint (bad magic line)".into());
+    }
+    let recorded = lines
+        .next()
+        .and_then(|l| l.strip_prefix("digest "))
+        .and_then(|h| u64::from_str_radix(h, 16).ok())
+        .ok_or("malformed digest line")?;
+    if recorded != digest {
+        return Err(format!(
+            "spec digest mismatch (checkpoint {recorded:016x}, campaign {digest:016x}): \
+             the spec list or output options changed since this campaign started; \
+             refusing to resume"
+        ));
+    }
+    let recorded_total = lines
+        .next()
+        .and_then(|l| l.strip_prefix("total "))
+        .and_then(|t| t.parse::<usize>().ok())
+        .ok_or("malformed total line")?;
+    if recorded_total != total {
+        return Err(format!(
+            "scenario count mismatch (checkpoint {recorded_total}, spec list {total}); \
+             refusing to resume"
+        ));
+    }
+    let mut done = BTreeSet::new();
+    // A file killed mid-append may end in a torn fragment; everything
+    // before the final newline is trustworthy, the tail is not.
+    let body: Vec<&str> = lines.collect();
+    let complete = if text.ends_with('\n') { body.len() } else { body.len().saturating_sub(1) };
+    for line in &body[..complete] {
+        if line.is_empty() {
+            continue;
+        }
+        let index = line
+            .strip_prefix("done ")
+            .and_then(|i| i.parse::<usize>().ok())
+            .ok_or_else(|| format!("malformed checkpoint line {line:?}"))?;
+        if index >= total {
+            return Err(format!("checkpoint records scenario {index} of a {total}-scenario run"));
+        }
+        done.insert(index);
+    }
+    Ok(done)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("emac-ckpt-unit-{}-{tag}.ckpt", std::process::id()))
+    }
+
+    #[test]
+    fn fresh_record_resume_round_trip() {
+        let path = temp_path("roundtrip");
+        let digest = 0xabcd_1234_u64;
+        let mut ck = Checkpoint::fresh(&path, digest, 5).unwrap();
+        assert_eq!(ck.remaining(), vec![0, 1, 2, 3, 4]);
+        ck.record(0).unwrap();
+        ck.record(1).unwrap();
+        ck.record(3).unwrap();
+        drop(ck);
+        let ck = Checkpoint::resume(&path, digest, 5).unwrap();
+        assert_eq!(ck.completed(), 3);
+        assert!(ck.is_done(3) && !ck.is_done(2));
+        assert_eq!(ck.remaining(), vec![2, 4]);
+        assert_eq!(ck.total(), 5);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_refuses_digest_and_total_mismatch() {
+        let path = temp_path("mismatch");
+        Checkpoint::fresh(&path, 7, 3).unwrap();
+        let err = Checkpoint::resume(&path, 8, 3).unwrap_err();
+        assert!(err.contains("refusing to resume"), "{err}");
+        assert!(err.contains("digest mismatch"), "{err}");
+        let err = Checkpoint::resume(&path, 7, 4).unwrap_err();
+        assert!(err.contains("count mismatch"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_of_missing_file_starts_fresh() {
+        let path = temp_path("missing");
+        let _ = std::fs::remove_file(&path);
+        let ck = Checkpoint::resume(&path, 1, 2).unwrap();
+        assert_eq!(ck.completed(), 0);
+        assert!(path.exists(), "fresh header written");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_trailing_line_is_ignored_but_torn_middle_is_not() {
+        let path = temp_path("torn");
+        let mut ck = Checkpoint::fresh(&path, 9, 10).unwrap();
+        ck.record(0).unwrap();
+        ck.record(1).unwrap();
+        drop(ck);
+        // simulate a kill mid-append
+        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+        write!(file, "done 2").unwrap(); // no newline
+        drop(file);
+        let ck = Checkpoint::resume(&path, 9, 10).unwrap();
+        assert_eq!(ck.completed(), 2, "torn tail dropped");
+        let _ = std::fs::remove_file(&path);
+
+        let path = temp_path("garbled");
+        std::fs::write(&path, format!("{MAGIC}\ndigest {:016x}\ntotal 4\nwat\ndone 1\n", 9u64))
+            .unwrap();
+        let err = Checkpoint::resume(&path, 9, 4).unwrap_err();
+        assert!(err.contains("malformed"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rejects_out_of_range_and_foreign_files() {
+        let path = temp_path("range");
+        std::fs::write(&path, format!("{MAGIC}\ndigest {:016x}\ntotal 2\ndone 5\n", 3u64)).unwrap();
+        assert!(Checkpoint::resume(&path, 3, 2).unwrap_err().contains("records scenario 5"));
+        std::fs::write(&path, "something else\n").unwrap();
+        assert!(Checkpoint::resume(&path, 3, 2).unwrap_err().contains("bad magic"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncate_after_lines_reconciles_output_tails() {
+        let path = temp_path("truncate");
+        // 3 complete rows + a torn fragment; keeping 2 drops "row2\ntorn"
+        std::fs::write(&path, "row0\nrow1\nrow2\ntorn").unwrap();
+        assert_eq!(truncate_after_lines(&path, 2).unwrap(), Some(9));
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "row0\nrow1\n");
+        // already exact: nothing dropped
+        assert_eq!(truncate_after_lines(&path, 2).unwrap(), Some(0));
+        // fewer lines than the checkpoint records: inconsistent
+        assert_eq!(truncate_after_lines(&path, 3).unwrap(), None);
+        // zero lines: empty the file
+        assert_eq!(truncate_after_lines(&path, 0).unwrap(), Some(10));
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "");
+        let _ = std::fs::remove_file(&path);
+        // missing file is an io error for the caller
+        assert!(truncate_after_lines(&path, 1).is_err());
+    }
+
+    #[test]
+    fn truncate_after_lines_streams_across_chunks() {
+        let path = temp_path("truncate-big");
+        // rows long enough that the target newline sits beyond one 8 KiB chunk
+        let row = "x".repeat(5_000);
+        std::fs::write(&path, format!("{row}\n{row}\n{row}\npartial")).unwrap();
+        assert_eq!(truncate_after_lines(&path, 2).unwrap(), Some(5_001 + 7));
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 2 * 5_001);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn spec_digest_is_order_and_content_sensitive() {
+        let a = ScenarioSpec::new("x", "y");
+        let b = ScenarioSpec::new("x", "y").seed(9);
+        let d1 = spec_list_digest(&[a.clone(), b.clone()]);
+        assert_eq!(d1, spec_list_digest(&[a.clone(), b.clone()]), "deterministic");
+        assert_ne!(d1, spec_list_digest(&[b.clone(), a.clone()]), "order matters");
+        assert_ne!(d1, spec_list_digest(std::slice::from_ref(&a)), "count matters");
+        assert_ne!(d1, spec_list_digest(&[a, b.seed(10)]), "content matters");
+    }
+}

@@ -11,14 +11,25 @@
 //! * [`Grid`] — a cartesian parameter grid that expands into scenario
 //!   lists;
 //! * [`Campaign`] — a worker-pool executor (`std::thread::scope`) that
-//!   runs scenarios in parallel and collects [`RunReport`]s into a
-//!   [`CampaignResult`] with JSON and CSV export.
+//!   runs scenarios in parallel and hands every completed run, **in spec
+//!   order**, to a [`ResultSink`](sink::ResultSink);
+//! * [`sink`] — where results go: buffered ([`MemorySink`]) behind the
+//!   [`CampaignResult`] JSON/CSV API, or streamed in constant memory
+//!   ([`CsvStreamSink`], [`JsonLinesSink`]) for sweeps too wide to hold;
+//! * [`checkpoint`] — an fsync'd append-only progress file so a killed
+//!   campaign resumes where it stopped instead of restarting from zero;
+//! * [`MetricsDetail`] — `Full` keeps every per-run series; `Slim` drops
+//!   the queue time series and delay histogram right after each scenario
+//!   completes, leaving all scalar metrics intact.
 //!
-//! Results are returned in spec order regardless of scheduling, and every
-//! component of a run is deterministic in the spec (seeded adversaries,
-//! deterministic algorithms), so a parallel campaign is byte-identical to
-//! the same scenarios run serially — `crates/core/tests/campaign.rs`
-//! asserts exactly that.
+//! Results reach the sink in spec order regardless of scheduling (workers
+//! block until their result's turn, so at most one finished report per
+//! worker is ever in flight), and every component of a run is
+//! deterministic in the spec (seeded adversaries, deterministic
+//! algorithms), so a parallel campaign is byte-identical to the same
+//! scenarios run serially, and a streamed export is byte-identical to
+//! serializing a buffered one — `crates/core/tests/campaign.rs` and
+//! `crates/core/tests/streaming.rs` assert exactly that.
 //!
 //! ```
 //! use emac_core::campaign::{Campaign, Grid, ScenarioFactory, ScenarioSpec};
@@ -50,17 +61,26 @@
 //! assert!(result.all_clean());
 //! ```
 
+pub mod checkpoint;
 pub mod json;
+pub mod row;
+pub mod sink;
 
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 use emac_sim::{Adversary, OnSchedule, Rate};
 
 use crate::algorithm::Algorithm;
 use crate::runner::{RunReport, Runner};
 use json::Json;
+
+pub use checkpoint::{spec_list_digest, truncate_after_lines, Checkpoint};
+pub use row::CSV_HEADER;
+pub use sink::{
+    CsvStreamSink, DurableFile, FnSink, JsonLinesSink, MemorySink, ResultSink, TallySink,
+};
 
 /// One fully-described experiment run.
 ///
@@ -311,7 +331,7 @@ impl ScenarioSpec {
     }
 }
 
-fn rate_str(r: Rate) -> String {
+pub(crate) fn rate_str(r: Rate) -> String {
     if r.den() == 1 {
         format!("{}", r.num())
     } else {
@@ -338,7 +358,7 @@ fn req_str(v: &Json, key: &str) -> Result<String, String> {
 /// A `u64` as JSON: an integer when it fits in `i64` (this JSON layer's
 /// integer type), a decimal string beyond that, so `u64::MAX` seeds
 /// round-trip losslessly.
-fn json_u64(v: u64) -> Json {
+pub(crate) fn json_u64(v: u64) -> Json {
     match i64::try_from(v) {
         Ok(i) => Json::Int(i),
         Err(_) => Json::Str(v.to_string()),
@@ -682,10 +702,26 @@ pub struct ScenarioRun {
     pub outcome: Result<RunReport, String>,
 }
 
+/// How much per-scenario metric detail survives the executor.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MetricsDetail {
+    /// Keep everything a run measured, including the sampled queue-size
+    /// time series and the log₂ delay histogram.
+    #[default]
+    Full,
+    /// Drop the bulky per-run series (`queue_series`, delay histogram) the
+    /// moment a scenario completes, before the report reaches the sink.
+    /// Every scalar metric — counts, maxima, mean delay, energy, the
+    /// stability verdict and slope (classified before slimming) — is
+    /// preserved, so CSV exports are byte-identical to `Full`.
+    Slim,
+}
+
 /// Parallel scenario executor.
 #[derive(Clone, Debug)]
 pub struct Campaign {
     threads: usize,
+    detail: MetricsDetail,
 }
 
 impl Default for Campaign {
@@ -694,11 +730,23 @@ impl Default for Campaign {
     }
 }
 
+/// The single-writer side of the executor: the sink, the optional
+/// checkpoint, and the hand-off cursor, all behind one lock so results
+/// enter the sink strictly in spec order.
+struct Writer<'a> {
+    /// Next position in the `todo` list to hand off.
+    next: usize,
+    sink: &'a mut dyn ResultSink,
+    checkpoint: Option<&'a mut Checkpoint>,
+    error: Option<String>,
+}
+
 impl Campaign {
-    /// An executor sized to the machine (`available_parallelism`).
+    /// An executor sized to the machine (`available_parallelism`), keeping
+    /// full metrics detail.
     pub fn new() -> Self {
         let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        Self { threads }
+        Self { threads, detail: MetricsDetail::Full }
     }
 
     /// Set the worker count. `1` means serial execution (useful for
@@ -708,40 +756,130 @@ impl Campaign {
         self
     }
 
-    /// Execute every spec and return the outcomes **in spec order**.
-    ///
-    /// Work is distributed over a scoped worker pool through an atomic
-    /// cursor; each worker builds its scenario's algorithm and adversary via
-    /// `factory` on its own thread, so nothing but plain data and the
-    /// factory reference crosses threads. Panics inside a scenario are
-    /// contained and reported as that scenario's error.
+    /// Set the metrics detail applied to every completed run.
+    pub fn detail(mut self, detail: MetricsDetail) -> Self {
+        self.detail = detail;
+        self
+    }
+
+    /// Execute every spec and return the outcomes **in spec order** —
+    /// the buffered convenience API over [`Campaign::run_into`] with a
+    /// [`MemorySink`].
     pub fn run<F>(&self, specs: &[ScenarioSpec], factory: &F) -> CampaignResult
     where
         F: ScenarioFactory + Sync,
     {
-        let slots: Vec<Mutex<Option<ScenarioRun>>> =
-            specs.iter().map(|_| Mutex::new(None)).collect();
+        let mut sink = MemorySink::new();
+        self.run_into(specs, factory, &mut sink).expect("memory sink is infallible");
+        sink.into_result()
+    }
+
+    /// Execute every spec, streaming each completed run into `sink` in
+    /// spec order. Returns the first sink error, if any (the campaign
+    /// aborts on it).
+    pub fn run_into<F>(
+        &self,
+        specs: &[ScenarioSpec],
+        factory: &F,
+        sink: &mut dyn ResultSink,
+    ) -> Result<(), String>
+    where
+        F: ScenarioFactory + Sync,
+    {
+        let todo: Vec<usize> = (0..specs.len()).collect();
+        self.run_subset(specs, &todo, factory, sink, None)
+    }
+
+    /// Execute the scenarios at the `todo` indices (a subsequence of
+    /// `0..specs.len()`, typically [`Checkpoint::remaining`]), streaming
+    /// each completed run into `sink` in `todo` order and recording it in
+    /// `checkpoint` (when given) after the sink accepted it.
+    ///
+    /// Work is distributed over a scoped worker pool through an atomic
+    /// cursor; each worker builds its scenario's algorithm and adversary
+    /// via `factory` on its own thread, so nothing but plain data and the
+    /// factory reference crosses threads. Panics inside a scenario are
+    /// contained and reported as that scenario's error. The hand-off to
+    /// the sink is *ordered*: a worker holding a finished run blocks until
+    /// every earlier `todo` entry has been handed off, so no matter how
+    /// uneven scenario durations are, at most one completed [`RunReport`]
+    /// per worker exists at any moment — streaming campaigns run in
+    /// constant memory.
+    ///
+    /// A sink or checkpoint error aborts the campaign: no further
+    /// scenarios are dispatched, the failing run is not checkpointed, and
+    /// the error is returned. [`ResultSink::finish`] runs only on success.
+    pub fn run_subset<F>(
+        &self,
+        specs: &[ScenarioSpec],
+        todo: &[usize],
+        factory: &F,
+        sink: &mut dyn ResultSink,
+        checkpoint: Option<&mut Checkpoint>,
+    ) -> Result<(), String>
+    where
+        F: ScenarioFactory + Sync,
+    {
+        if let Some(&bad) = todo.iter().find(|&&i| i >= specs.len()) {
+            return Err(format!("todo index {bad} out of range for {} specs", specs.len()));
+        }
         let cursor = AtomicUsize::new(0);
-        let workers = self.threads.min(specs.len().max(1));
+        let abort = AtomicBool::new(false);
+        let writer = Mutex::new(Writer { next: 0, sink, checkpoint, error: None });
+        let handed = Condvar::new();
+        let workers = self.threads.min(todo.len().max(1));
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(spec) = specs.get(i) else { break };
-                    let run = execute_one(spec, factory);
-                    *slots[i].lock().expect("result slot poisoned") = Some(run);
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let pos = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&index) = todo.get(pos) else { break };
+                    let mut run = execute_one(&specs[index], factory);
+                    if self.detail == MetricsDetail::Slim {
+                        if let Ok(report) = &mut run.outcome {
+                            report.metrics.slim();
+                        }
+                    }
+                    // Ordered hand-off: wait for our turn (or an abort).
+                    let mut w = writer.lock().expect("writer state poisoned");
+                    while w.next != pos && w.error.is_none() {
+                        w = handed.wait(w).expect("writer state poisoned");
+                    }
+                    if w.error.is_none() {
+                        let mut written = w.sink.accept(index, run);
+                        if w.checkpoint.is_some() {
+                            // Make the row durable before the checkpoint
+                            // can claim it.
+                            written = written.and_then(|()| w.sink.sync());
+                        }
+                        let recorded = written.and_then(|()| match &mut w.checkpoint {
+                            Some(ck) => ck.record(index),
+                            None => Ok(()),
+                        });
+                        match recorded {
+                            Ok(()) => w.next = pos + 1,
+                            Err(e) => {
+                                w.error = Some(e);
+                                abort.store(true, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    let done = w.error.is_some();
+                    drop(w);
+                    handed.notify_all();
+                    if done {
+                        break;
+                    }
                 });
             }
         });
-        let runs = slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("result slot poisoned")
-                    .expect("every index visited by a worker")
-            })
-            .collect();
-        CampaignResult { runs }
+        let writer = writer.into_inner().expect("writer state poisoned");
+        match writer.error {
+            Some(e) => Err(e),
+            None => writer.sink.finish(),
+        }
     }
 }
 
@@ -776,11 +914,6 @@ pub struct CampaignResult {
     pub runs: Vec<ScenarioRun>,
 }
 
-/// Columns of [`CampaignResult::to_csv`].
-pub const CSV_HEADER: &str = "label,algorithm,adversary,n,k,rho,beta,rounds,seed,cap,\
-     injected,delivered,latency_max,delay_mean,max_queue,energy_per_round,slope,verdict,\
-     clean,drained,error";
-
 impl CampaignResult {
     /// Whether every scenario ran and respected every model invariant.
     pub fn all_clean(&self) -> bool {
@@ -809,64 +942,36 @@ impl CampaignResult {
         )
     }
 
-    /// Full structured export: every spec with its report (or error).
+    /// Full structured export: every spec with its report (or error), one
+    /// [`row::run_json`] object per run.
     pub fn to_json(&self) -> Json {
-        let runs = self
-            .runs
-            .iter()
-            .map(|run| {
-                let mut obj = vec![("spec".to_string(), run.spec.to_json())];
-                match &run.outcome {
-                    Ok(report) => obj.push(("report".into(), report_json(report))),
-                    Err(e) => obj.push(("error".into(), Json::Str(e.clone()))),
-                }
-                Json::Obj(obj)
-            })
-            .collect();
+        let runs = self.runs.iter().enumerate().map(|(i, run)| row::run_json(i, run)).collect();
         Json::Obj(vec![
             ("summary".into(), Json::Str(self.summary())),
             ("runs".into(), Json::Arr(runs)),
         ])
     }
 
-    /// Flat CSV export (header [`CSV_HEADER`]), one row per scenario.
+    /// Flat CSV export (header [`CSV_HEADER`]), one [`row::csv_row`] per
+    /// scenario — byte-identical to what a [`CsvStreamSink`] wrote while
+    /// the same campaign streamed.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(CSV_HEADER);
         out.push('\n');
         for run in &self.runs {
-            let spec = &run.spec;
-            let mut row = vec![
-                csv_field(&spec.display_label()),
-                csv_field(&spec.algorithm),
-                csv_field(&spec.adversary),
-                spec.n.to_string(),
-                spec.k.to_string(),
-                rate_str(spec.rho),
-                rate_str(spec.beta),
-                spec.rounds.to_string(),
-                spec.seed.to_string(),
-                spec.cap.map(|c| c.to_string()).unwrap_or_default(),
-            ];
-            match &run.outcome {
-                Ok(r) => row.extend([
-                    r.metrics.injected.to_string(),
-                    r.metrics.delivered.to_string(),
-                    r.latency().to_string(),
-                    format!("{:.3}", r.metrics.delay.mean()),
-                    r.max_queue().to_string(),
-                    format!("{:.4}", r.metrics.energy_per_round()),
-                    format!("{:.6}", r.stability.slope),
-                    format!("{:?}", r.stability.verdict),
-                    r.clean().to_string(),
-                    r.drained.map(|d| d.to_string()).unwrap_or_default(),
-                    String::new(),
-                ]),
-                Err(e) => {
-                    row.extend(std::iter::repeat_n(String::new(), 10));
-                    row.push(csv_field(e));
-                }
-            }
-            out.push_str(&row.join(","));
+            out.push_str(&row::csv_row(run));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// JSON-Lines export, one compact [`row::run_json`] object per line —
+    /// byte-identical to what a [`JsonLinesSink`] wrote while the same
+    /// campaign streamed.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (i, run) in self.runs.iter().enumerate() {
+            out.push_str(&row::run_json(i, run).render());
             out.push('\n');
         }
         out
@@ -878,42 +983,6 @@ impl CampaignResult {
         std::fs::write(dir.join("campaign.json"), self.to_json().render_pretty())?;
         std::fs::write(dir.join("campaign.csv"), self.to_csv())
     }
-}
-
-fn csv_field(s: &str) -> String {
-    if s.contains([',', '"', '\n']) {
-        format!("\"{}\"", s.replace('"', "\"\""))
-    } else {
-        s.to_string()
-    }
-}
-
-fn report_json(r: &RunReport) -> Json {
-    let mut obj = vec![
-        ("algorithm".to_string(), Json::Str(r.algorithm.clone())),
-        ("n".into(), Json::Int(r.n as i64)),
-        ("cap".into(), Json::Int(r.cap as i64)),
-        ("rho".into(), Json::Str(rate_str(r.rho))),
-        ("beta".into(), Json::Str(rate_str(r.beta))),
-        ("rounds".into(), Json::Int(r.rounds as i64)),
-        ("injected".into(), Json::Int(r.metrics.injected as i64)),
-        ("delivered".into(), Json::Int(r.metrics.delivered as i64)),
-        ("latency_max".into(), Json::Int(r.latency() as i64)),
-        ("delay_mean".into(), Json::Float(r.metrics.delay.mean())),
-        ("max_queue".into(), Json::Int(r.max_queue() as i64)),
-        ("energy_per_round".into(), Json::Float(r.metrics.energy_per_round())),
-        ("goodput".into(), Json::Float(r.metrics.goodput())),
-        ("slope".into(), Json::Float(r.stability.slope)),
-        ("verdict".into(), Json::Str(format!("{:?}", r.stability.verdict))),
-        ("clean".into(), Json::Bool(r.clean())),
-    ];
-    if !r.clean() {
-        obj.push(("violations".into(), Json::Str(r.violations.to_string())));
-    }
-    if let Some(drained) = r.drained {
-        obj.push(("drained".into(), Json::Bool(drained)));
-    }
-    Json::Obj(obj)
 }
 
 #[cfg(test)]
@@ -1010,12 +1079,5 @@ mod tests {
         assert!(spec.validate().is_err());
         spec.rho = Rate::one();
         assert!(spec.validate().is_ok());
-    }
-
-    #[test]
-    fn csv_escapes_awkward_labels() {
-        assert_eq!(csv_field("plain"), "plain");
-        assert_eq!(csv_field("a,b"), "\"a,b\"");
-        assert_eq!(csv_field("q\"q"), "\"q\"\"q\"");
     }
 }

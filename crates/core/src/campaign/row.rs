@@ -1,0 +1,173 @@
+//! Shared result-row formatting: the **single** place where a scenario
+//! outcome becomes a CSV row or a JSON object.
+//!
+//! Both the in-memory exports ([`CampaignResult::to_csv`],
+//! [`CampaignResult::to_json`], [`CampaignResult::to_jsonl`]) and the
+//! streaming sinks ([`CsvStreamSink`], [`JsonLinesSink`]) route through
+//! these helpers, so the two paths cannot drift: a streamed campaign is
+//! byte-identical to serializing the buffered result after the fact
+//! (`crates/core/tests/streaming.rs` asserts exactly that). Derived
+//! columns — latency, mean delay, peak queue, energy per round, the
+//! stability slope — are computed here once, from the report's scalar
+//! fields, never re-derived from `queue_series` (which the `Slim` metrics
+//! detail drops).
+//!
+//! [`CampaignResult::to_csv`]: super::CampaignResult::to_csv
+//! [`CampaignResult::to_json`]: super::CampaignResult::to_json
+//! [`CampaignResult::to_jsonl`]: super::CampaignResult::to_jsonl
+//! [`CsvStreamSink`]: super::sink::CsvStreamSink
+//! [`JsonLinesSink`]: super::sink::JsonLinesSink
+
+use super::json::Json;
+use super::{json_u64, rate_str, ScenarioRun};
+use crate::runner::RunReport;
+
+/// Columns of every CSV export (in-memory and streamed).
+pub const CSV_HEADER: &str = "label,algorithm,adversary,n,k,rho,beta,rounds,seed,cap,\
+     injected,delivered,latency_max,delay_mean,max_queue,energy_per_round,slope,verdict,\
+     clean,drained,error";
+
+/// One scenario outcome as a CSV row (no trailing newline), matching
+/// [`CSV_HEADER`].
+pub fn csv_row(run: &ScenarioRun) -> String {
+    let spec = &run.spec;
+    let mut row = vec![
+        csv_field(&spec.display_label()),
+        csv_field(&spec.algorithm),
+        csv_field(&spec.adversary),
+        spec.n.to_string(),
+        spec.k.to_string(),
+        rate_str(spec.rho),
+        rate_str(spec.beta),
+        spec.rounds.to_string(),
+        spec.seed.to_string(),
+        spec.cap.map(|c| c.to_string()).unwrap_or_default(),
+    ];
+    match &run.outcome {
+        Ok(r) => row.extend([
+            r.metrics.injected.to_string(),
+            r.metrics.delivered.to_string(),
+            r.latency().to_string(),
+            format!("{:.3}", r.metrics.delay.mean()),
+            r.max_queue().to_string(),
+            format!("{:.4}", r.metrics.energy_per_round()),
+            format!("{:.6}", r.stability.slope),
+            format!("{:?}", r.stability.verdict),
+            r.clean().to_string(),
+            r.drained.map(|d| d.to_string()).unwrap_or_default(),
+            String::new(),
+        ]),
+        Err(e) => {
+            row.extend(std::iter::repeat_n(String::new(), 10));
+            row.push(csv_field(e));
+        }
+    }
+    row.join(",")
+}
+
+/// One scenario outcome as a JSON object: `index` (position in the spec
+/// list), the `spec`, and either the `report` or the `error`. This is the
+/// line format of [`JsonLinesSink`] and the element format of
+/// [`CampaignResult::to_json`]'s `"runs"` array.
+///
+/// [`JsonLinesSink`]: super::sink::JsonLinesSink
+/// [`CampaignResult::to_json`]: super::CampaignResult::to_json
+pub fn run_json(index: usize, run: &ScenarioRun) -> Json {
+    let mut obj =
+        vec![("index".to_string(), Json::Int(index as i64)), ("spec".into(), run.spec.to_json())];
+    match &run.outcome {
+        Ok(report) => obj.push(("report".into(), report_json(report))),
+        Err(e) => obj.push(("error".into(), Json::Str(e.clone()))),
+    }
+    Json::Obj(obj)
+}
+
+/// A [`RunReport`] as a JSON object. Scalar fields always; the bulky
+/// series — `queue_series` and `delay_log2_buckets` — only when present
+/// (the `Slim` metrics detail clears them before export).
+pub fn report_json(r: &RunReport) -> Json {
+    let mut obj = vec![
+        ("algorithm".to_string(), Json::Str(r.algorithm.clone())),
+        ("n".into(), Json::Int(r.n as i64)),
+        ("cap".into(), Json::Int(r.cap as i64)),
+        ("rho".into(), Json::Str(rate_str(r.rho))),
+        ("beta".into(), Json::Str(rate_str(r.beta))),
+        ("rounds".into(), Json::Int(r.rounds as i64)),
+        ("injected".into(), Json::Int(r.metrics.injected as i64)),
+        ("delivered".into(), Json::Int(r.metrics.delivered as i64)),
+        ("latency_max".into(), Json::Int(r.latency() as i64)),
+        ("delay_mean".into(), Json::Float(r.metrics.delay.mean())),
+        ("max_queue".into(), Json::Int(r.max_queue() as i64)),
+        ("energy_per_round".into(), Json::Float(r.metrics.energy_per_round())),
+        ("goodput".into(), Json::Float(r.metrics.goodput())),
+        ("slope".into(), Json::Float(r.stability.slope)),
+        ("verdict".into(), Json::Str(format!("{:?}", r.stability.verdict))),
+        ("clean".into(), Json::Bool(r.clean())),
+    ];
+    if !r.clean() {
+        obj.push(("violations".into(), Json::Str(r.violations.to_string())));
+    }
+    if let Some(drained) = r.drained {
+        obj.push(("drained".into(), Json::Bool(drained)));
+    }
+    if !r.metrics.queue_series.is_empty() {
+        let series = r
+            .metrics
+            .queue_series
+            .iter()
+            .map(|s| Json::Arr(vec![json_u64(s.round), json_u64(s.total_queued)]))
+            .collect();
+        obj.push(("queue_series".into(), Json::Arr(series)));
+    }
+    let buckets = r.metrics.delay.log2_buckets();
+    if let Some(last) = buckets.iter().rposition(|&c| c != 0) {
+        obj.push((
+            "delay_log2_buckets".into(),
+            Json::Arr(buckets[..=last].iter().map(|&c| json_u64(c)).collect()),
+        ));
+    }
+    Json::Obj(obj)
+}
+
+pub(crate) fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::ScenarioSpec;
+    use super::*;
+
+    #[test]
+    fn csv_escapes_awkward_labels() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("q\"q"), "\"q\"\"q\"");
+    }
+
+    #[test]
+    fn error_rows_pad_every_report_column() {
+        let run =
+            ScenarioRun { spec: ScenarioSpec::new("a", "b"), outcome: Err("it, broke".into()) };
+        let row = csv_row(&run);
+        assert_eq!(
+            row.matches(',').count(),
+            CSV_HEADER.matches(',').count() + 1,
+            "error text is escaped, so the column count matches the header: {row}"
+        );
+        assert!(row.ends_with("\"it, broke\""));
+    }
+
+    #[test]
+    fn run_json_carries_index_and_error() {
+        let run = ScenarioRun { spec: ScenarioSpec::new("a", "b"), outcome: Err("nope".into()) };
+        let json = run_json(3, &run);
+        assert_eq!(json.get("index").and_then(Json::as_i64), Some(3));
+        assert_eq!(json.get("error").and_then(Json::as_str), Some("nope"));
+        assert!(json.get("report").is_none());
+    }
+}

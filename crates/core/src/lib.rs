@@ -53,7 +53,10 @@ pub mod stability;
 pub use adjust_window::AdjustWindow;
 pub use algorithm::Algorithm;
 pub use baseline::DutyCycle;
-pub use campaign::{Campaign, CampaignResult, Grid, ScenarioFactory, ScenarioRun, ScenarioSpec};
+pub use campaign::{
+    Campaign, CampaignResult, Checkpoint, CsvStreamSink, Grid, JsonLinesSink, MemorySink,
+    MetricsDetail, ResultSink, ScenarioFactory, ScenarioRun, ScenarioSpec,
+};
 pub use count_hop::CountHop;
 pub use digest::{report_digest, report_digest_hex, Fnv64};
 pub use k_clique::KClique;
@@ -69,7 +72,10 @@ pub mod prelude {
     pub use crate::algorithm::Algorithm;
     pub use crate::baseline::DutyCycle;
     pub use crate::bounds;
-    pub use crate::campaign::{Campaign, CampaignResult, Grid, ScenarioFactory, ScenarioSpec};
+    pub use crate::campaign::{
+        Campaign, CampaignResult, Checkpoint, CsvStreamSink, Grid, JsonLinesSink, MemorySink,
+        MetricsDetail, ResultSink, ScenarioFactory, ScenarioSpec,
+    };
     pub use crate::count_hop::CountHop;
     pub use crate::digest::{report_digest, report_digest_hex};
     pub use crate::k_clique::KClique;

@@ -65,6 +65,14 @@ impl DelayStats {
         &self.buckets
     }
 
+    /// Drop the log₂ histogram, keeping the scalar statistics (count, sum,
+    /// max — and therefore the mean) intact. Used by the campaign layer's
+    /// `Slim` metrics detail; [`DelayStats::quantile`] degrades to
+    /// returning the maximum afterwards.
+    pub fn clear_buckets(&mut self) {
+        self.buckets = [0; 64];
+    }
+
     /// Approximate p-quantile from the log2 histogram (upper bucket edge).
     pub fn quantile(&self, p: f64) -> u64 {
         if self.count == 0 {
@@ -180,6 +188,17 @@ impl Metrics {
         self.injected - self.delivered
     }
 
+    /// Drop the bulky per-run series — the sampled queue-size time series
+    /// and the log₂ delay histogram — keeping every scalar (counts, maxima,
+    /// sums, energy, per-station tallies) intact. This is the campaign
+    /// layer's `Slim` metrics detail: derived scalars such as the mean
+    /// delay, the maximum queue, and a stability slope computed *before*
+    /// slimming are unaffected.
+    pub fn slim(&mut self) {
+        self.queue_series = Vec::new();
+        self.delay.clear_buckets();
+    }
+
     /// Least-squares slope of the sampled queue-size series over its second
     /// half, in packets per round. Near zero for stable executions; positive
     /// and bounded away from zero when queues grow without bound.
@@ -262,6 +281,31 @@ mod tests {
         let m = Metrics { rounds: 100, energy_total: 250, packet_rounds: 40, ..Default::default() };
         assert!((m.energy_per_round() - 2.5).abs() < 1e-12);
         assert!((m.goodput() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slim_drops_series_and_keeps_scalars() {
+        let mut m = Metrics::sized(4);
+        m.rounds = 100;
+        m.energy_total = 250;
+        m.max_total_queued = 17;
+        for d in [0u64, 3, 200] {
+            m.delay.record(d);
+        }
+        for r in 0..10u64 {
+            m.queue_series.push(QueueSample { round: r, total_queued: r });
+        }
+        let mean_before = m.delay.mean();
+        m.slim();
+        assert!(m.queue_series.is_empty());
+        assert!(m.delay.log2_buckets().iter().all(|&c| c == 0));
+        assert_eq!(m.delay.count(), 3);
+        assert_eq!(m.delay.max(), 200);
+        assert_eq!(m.delay.mean(), mean_before);
+        assert_eq!(m.max_total_queued, 17);
+        assert!((m.energy_per_round() - 2.5).abs() < 1e-12);
+        // quantile degrades to the max once the histogram is gone
+        assert_eq!(m.delay.quantile(0.5), 200);
     }
 
     #[test]

@@ -4,21 +4,30 @@
 //! emac run --alg count-hop --n 8 --rho 1/2 --beta 2 --rounds 100000 \
 //!          --adversary uniform --seed 7 [--drain 20000] [--trace 40]
 //! emac campaign spec.json [--threads N] [--out DIR]
+//!               [--format csv|jsonl] [--detail full|slim] [--resume] [--limit M]
 //! emac campaign --example
 //! emac list
 //! ```
 //!
 //! `run` prints the standard run report; `campaign` executes a JSON
-//! scenario spec (see `emac campaign --example`) in parallel and writes
-//! structured JSON/CSV results. Both exit non-zero if any run violates a
-//! model invariant (useful in CI). All parsing and construction logic lives
-//! in [`emac::cli`] and [`emac::registry`].
+//! scenario spec (see `emac campaign --example`) in parallel. Without
+//! `--format` it buffers results and writes `campaign.json` +
+//! `campaign.csv`; with `--format` it **streams** each result to
+//! `campaign.csv` or `campaign.jsonl` in constant memory, maintains an
+//! fsync'd `campaign.ckpt` next to the output, and `--resume` continues a
+//! killed (or `--limit`-bounded) campaign where it stopped. Both modes
+//! exit non-zero if any run violates a model invariant (useful in CI).
+//! All parsing and construction logic lives in [`emac::cli`] and
+//! [`emac::registry`].
 
 use std::path::Path;
 use std::process::ExitCode;
 
 use emac::cli;
-use emac::core::campaign::{parse_campaign_spec, Campaign};
+use emac::core::campaign::{
+    parse_campaign_spec, spec_list_digest, truncate_after_lines, Campaign, Checkpoint,
+    CsvStreamSink, DurableFile, JsonLinesSink, ResultSink, ScenarioSpec, TallySink,
+};
 use emac::core::prelude::*;
 use emac::registry::{Registry, ADVERSARIES, ALGORITHMS};
 
@@ -43,7 +52,8 @@ fn usage() {
         "usage:\n  emac run --alg <name> --n <N> [--k <K>] [--rho P/Q] [--beta B]\n           \
          [--rounds R] [--adversary <name>] [--seed S] [--drain R] [--trace N]\n           \
          [--cap C] [--target S] [--dest S] [--period R] [--horizon R]\n  \
-         emac campaign <spec.json> [--threads N] [--out DIR]\n  \
+         emac campaign <spec.json> [--threads N] [--out DIR]\n           \
+         [--format csv|jsonl] [--detail full|slim] [--resume] [--limit M]\n  \
          emac campaign --example   # print a commented example spec\n  \
          emac list"
     );
@@ -73,68 +83,48 @@ const EXAMPLE_SPEC: &str = r#"{
 }"#;
 
 fn campaign(args: &[String]) -> ExitCode {
-    if args.first().map(String::as_str) == Some("--example") {
+    let opts = match cli::parse_campaign(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            return ExitCode::from(2);
+        }
+    };
+    if opts.example {
         println!("{EXAMPLE_SPEC}");
         return ExitCode::SUCCESS;
     }
-    let mut spec_path: Option<&str> = None;
-    let mut threads: Option<usize> = None;
-    let mut out_dir = String::from("results/campaign");
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--threads" => {
-                threads = match it.next().map(|v| v.parse()) {
-                    Some(Ok(t)) => Some(t),
-                    _ => {
-                        eprintln!("error: --threads needs a positive integer");
-                        return ExitCode::from(2);
-                    }
-                }
-            }
-            "--out" => {
-                out_dir = match it.next() {
-                    Some(v) => v.clone(),
-                    None => {
-                        eprintln!("error: --out needs a directory");
-                        return ExitCode::from(2);
-                    }
-                }
-            }
-            path if spec_path.is_none() && !path.starts_with("--") => spec_path = Some(path),
-            other => {
-                eprintln!("error: unexpected argument {other}");
-                usage();
-                return ExitCode::from(2);
-            }
-        }
-    }
-    let Some(spec_path) = spec_path else {
-        eprintln!("error: campaign needs a spec file (try `emac campaign --example`)");
-        usage();
-        return ExitCode::from(2);
-    };
-    let text = match std::fs::read_to_string(spec_path) {
+    let text = match std::fs::read_to_string(&opts.spec_path) {
         Ok(t) => t,
         Err(e) => {
-            eprintln!("error: cannot read {spec_path}: {e}");
+            eprintln!("error: cannot read {}: {e}", opts.spec_path);
             return ExitCode::from(2);
         }
     };
     let specs = match parse_campaign_spec(&text) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("error: {spec_path}: {e}");
+            eprintln!("error: {}: {e}", opts.spec_path);
             return ExitCode::from(2);
         }
     };
 
-    let mut executor = Campaign::new();
-    if let Some(t) = threads {
+    let mut executor = Campaign::new().detail(opts.detail);
+    if let Some(t) = opts.threads {
         executor = executor.threads(t);
     }
+    match opts.format {
+        None => campaign_buffered(&executor, &specs, &opts.out_dir),
+        Some(format) => campaign_streamed(&executor, &specs, &opts, format),
+    }
+}
+
+/// Legacy buffered mode: hold every report, print the full table, write
+/// `campaign.json` + `campaign.csv`.
+fn campaign_buffered(executor: &Campaign, specs: &[ScenarioSpec], out_dir: &str) -> ExitCode {
     eprintln!("running {} scenarios...", specs.len());
-    let result = executor.run(&specs, &Registry);
+    let result = executor.run(specs, &Registry);
 
     for run in &result.runs {
         match &run.outcome {
@@ -151,7 +141,7 @@ fn campaign(args: &[String]) -> ExitCode {
     }
     println!("{}", result.summary());
 
-    if let Err(e) = result.write_files(Path::new(&out_dir)) {
+    if let Err(e) = result.write_files(Path::new(out_dir)) {
         eprintln!("error: writing results to {out_dir}: {e}");
         return ExitCode::FAILURE;
     }
@@ -162,6 +152,164 @@ fn campaign(args: &[String]) -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// Streaming mode: constant-memory export with a checkpoint next to it.
+fn campaign_streamed(
+    executor: &Campaign,
+    specs: &[ScenarioSpec],
+    opts: &cli::CampaignOpts,
+    format: cli::CampaignFormat,
+) -> ExitCode {
+    let dir = Path::new(&opts.out_dir);
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("error: creating {}: {e}", opts.out_dir);
+        return ExitCode::FAILURE;
+    }
+    let out_path = dir.join(format.file_name());
+    let ckpt_path = dir.join("campaign.ckpt");
+    // The checkpoint digest binds the spec list AND the output-shaping
+    // options: resuming the same specs with a different --format or
+    // --detail would interleave incompatible rows, so it is refused the
+    // same way an edited spec file is.
+    let digest = {
+        let mut h = emac::core::digest::Fnv64::new();
+        h.u64(spec_list_digest(specs));
+        h.str(format.file_name());
+        h.str(match opts.detail {
+            emac::core::MetricsDetail::Full => "full",
+            emac::core::MetricsDetail::Slim => "slim",
+        });
+        h.finish()
+    };
+    let ckpt = if opts.resume {
+        Checkpoint::resume(&ckpt_path, digest, specs.len())
+    } else {
+        Checkpoint::fresh(&ckpt_path, digest, specs.len())
+    };
+    let mut ckpt = match ckpt {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let already = ckpt.completed();
+
+    // Reconcile the output with the checkpoint: keep exactly the
+    // checkpointed rows (plus the CSV header), dropping any unrecorded
+    // tail a crash left behind — those scenarios re-execute below.
+    if already > 0 {
+        let header_lines = u64::from(format == cli::CampaignFormat::Csv);
+        match truncate_after_lines(&out_path, already as u64 + header_lines) {
+            Ok(Some(0)) => {}
+            Ok(Some(dropped)) => {
+                eprintln!("note: dropped {dropped} bytes of unrecorded output from a previous run")
+            }
+            Ok(None) => {
+                eprintln!(
+                    "error: {} holds fewer rows than campaign.ckpt records ({already}); \
+                     refusing to resume against a modified output",
+                    out_path.display()
+                );
+                return ExitCode::from(2);
+            }
+            Err(e) => {
+                eprintln!(
+                    "error: cannot reconcile {} with its checkpoint: {e}",
+                    out_path.display()
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut todo = ckpt.remaining();
+    if todo.is_empty() {
+        println!(
+            "all {} scenarios already complete in {}; nothing to do",
+            specs.len(),
+            out_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    if let Some(limit) = opts.limit {
+        todo.truncate(limit);
+    }
+
+    let file = if already > 0 {
+        std::fs::OpenOptions::new().append(true).open(&out_path)
+    } else {
+        std::fs::File::create(&out_path)
+    };
+    let file = match file {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: opening {}: {e}", out_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    // Buffered, but fsync'd on every sink.sync() — the executor makes each
+    // row durable before its checkpoint line is appended.
+    let writer = DurableFile::new(file);
+
+    eprintln!(
+        "running {} of {} scenarios ({} already complete)...",
+        todo.len(),
+        specs.len(),
+        already
+    );
+    let (outcome, ok, unclean, failed) = match format {
+        cli::CampaignFormat::Csv => {
+            let inner = if already > 0 {
+                CsvStreamSink::appending(writer)
+            } else {
+                CsvStreamSink::new(writer)
+            };
+            run_tallied(executor, specs, &todo, TallySink::new(inner), &mut ckpt)
+        }
+        cli::CampaignFormat::JsonLines => run_tallied(
+            executor,
+            specs,
+            &todo,
+            TallySink::new(JsonLinesSink::new(writer)),
+            &mut ckpt,
+        ),
+    };
+    if let Err(e) = outcome {
+        eprintln!("error: {e}");
+        eprintln!("{} scenarios checkpointed; rerun with --resume to continue", ckpt.completed());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "{} of {} scenarios complete in {} ({} this run: {} ok, {} with violations, {} failed)",
+        ckpt.completed(),
+        specs.len(),
+        out_path.display(),
+        ok + unclean + failed,
+        ok,
+        unclean,
+        failed
+    );
+    if ckpt.completed() < specs.len() {
+        println!("rerun with --resume to continue");
+    }
+    if failed == 0 && unclean == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn run_tallied<S: ResultSink>(
+    executor: &Campaign,
+    specs: &[ScenarioSpec],
+    todo: &[usize],
+    mut sink: TallySink<S>,
+    ckpt: &mut Checkpoint,
+) -> (Result<(), String>, usize, usize, usize) {
+    let outcome = executor.run_subset(specs, todo, &Registry, &mut sink, Some(ckpt));
+    (outcome, sink.ok(), sink.unclean(), sink.failed())
 }
 
 fn run(args: &[String]) -> ExitCode {

@@ -5,11 +5,117 @@
 //! resolution itself lives in [`crate::registry`] — the same registry the
 //! campaign executor and the bench binaries use.
 
-use emac_core::campaign::ScenarioSpec;
+use emac_core::campaign::{MetricsDetail, ScenarioSpec};
 use emac_core::prelude::*;
 use emac_sim::{Adversary, Rate};
 
 use crate::registry::Registry;
+
+/// Streaming output format for `emac campaign --format`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CampaignFormat {
+    /// One flat CSV row per scenario (`campaign.csv`).
+    Csv,
+    /// One JSON object per line (`campaign.jsonl`).
+    JsonLines,
+}
+
+impl CampaignFormat {
+    /// The output file name inside `--out`.
+    pub fn file_name(self) -> &'static str {
+        match self {
+            CampaignFormat::Csv => "campaign.csv",
+            CampaignFormat::JsonLines => "campaign.jsonl",
+        }
+    }
+}
+
+/// Parsed command-line options for `emac campaign`.
+#[derive(Clone, Debug)]
+pub struct CampaignOpts {
+    /// Print the example spec and exit (`--example`).
+    pub example: bool,
+    /// Path to the JSON spec file.
+    pub spec_path: String,
+    /// Worker count override.
+    pub threads: Option<usize>,
+    /// Output directory (default `results/campaign`).
+    pub out_dir: String,
+    /// Streaming format; `None` means the buffered legacy export
+    /// (`campaign.json` + `campaign.csv`).
+    pub format: Option<CampaignFormat>,
+    /// Per-scenario metrics detail.
+    pub detail: MetricsDetail,
+    /// Resume from `campaign.ckpt` instead of starting fresh.
+    pub resume: bool,
+    /// Run at most this many (remaining) scenarios, then stop with the
+    /// checkpoint intact — bounded work chunks for long campaigns.
+    pub limit: Option<usize>,
+}
+
+/// Parse `emac campaign` flags. Streaming-only flags (`--resume`,
+/// `--limit`) require `--format`, because only streaming outputs are
+/// appendable.
+pub fn parse_campaign(args: &[String]) -> Result<CampaignOpts, String> {
+    let mut o = CampaignOpts {
+        example: false,
+        spec_path: String::new(),
+        threads: None,
+        out_dir: "results/campaign".into(),
+        format: None,
+        detail: MetricsDetail::Full,
+        resume: false,
+        limit: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value =
+            || it.next().map(String::as_str).ok_or_else(|| format!("{arg} needs a value"));
+        match arg.as_str() {
+            "--example" => o.example = true,
+            "--threads" => {
+                o.threads = Some(value()?.parse().map_err(|e| format!("--threads: {e}"))?)
+            }
+            "--out" => o.out_dir = value()?.to_string(),
+            "--format" => {
+                o.format = Some(match value()? {
+                    "csv" => CampaignFormat::Csv,
+                    "jsonl" => CampaignFormat::JsonLines,
+                    other => return Err(format!("--format must be csv or jsonl, got {other:?}")),
+                })
+            }
+            "--detail" => {
+                o.detail = match value()? {
+                    "full" => MetricsDetail::Full,
+                    "slim" => MetricsDetail::Slim,
+                    other => return Err(format!("--detail must be full or slim, got {other:?}")),
+                }
+            }
+            "--resume" => o.resume = true,
+            "--limit" => o.limit = Some(value()?.parse().map_err(|e| format!("--limit: {e}"))?),
+            path if o.spec_path.is_empty() && !path.starts_with("--") => {
+                o.spec_path = path.to_string()
+            }
+            other => return Err(format!("unexpected argument {other}")),
+        }
+    }
+    if o.example {
+        return Ok(o);
+    }
+    if o.spec_path.is_empty() {
+        return Err("campaign needs a spec file (try `emac campaign --example`)".into());
+    }
+    if o.format.is_none() && (o.resume || o.limit.is_some()) {
+        return Err("--resume and --limit need a streaming --format (csv or jsonl)".into());
+    }
+    if o.limit == Some(0) {
+        return Err("--limit must be positive".into());
+    }
+    if o.threads == Some(0) {
+        return Err("--threads must be positive".into());
+    }
+    Ok(o)
+}
 
 /// Parsed command-line options for `emac run`.
 #[derive(Clone, Debug)]
@@ -208,6 +314,44 @@ mod tests {
         assert_eq!(parse_beta("3/2").unwrap(), Rate::new(3, 2));
         assert_eq!(parse_beta("4").unwrap(), Rate::integer(4));
         assert!(parse_beta("x").is_err());
+    }
+
+    #[test]
+    fn parses_campaign_flags() {
+        let o = parse_campaign(&argv(
+            "spec.json --threads 4 --out results/x --format jsonl --detail slim --resume --limit 20",
+        ))
+        .unwrap();
+        assert_eq!(o.spec_path, "spec.json");
+        assert_eq!(o.threads, Some(4));
+        assert_eq!(o.out_dir, "results/x");
+        assert_eq!(o.format, Some(CampaignFormat::JsonLines));
+        assert_eq!(o.detail, MetricsDetail::Slim);
+        assert!(o.resume);
+        assert_eq!(o.limit, Some(20));
+        assert_eq!(CampaignFormat::Csv.file_name(), "campaign.csv");
+        assert_eq!(CampaignFormat::JsonLines.file_name(), "campaign.jsonl");
+
+        let o = parse_campaign(&argv("spec.json")).unwrap();
+        assert_eq!(o.format, None);
+        assert_eq!(o.detail, MetricsDetail::Full);
+        assert!(!o.resume && o.limit.is_none());
+        assert!(parse_campaign(&argv("--example")).unwrap().example);
+    }
+
+    #[test]
+    fn campaign_flag_validation() {
+        assert!(parse_campaign(&argv("")).unwrap_err().contains("spec file"));
+        assert!(parse_campaign(&argv("spec.json --resume")).unwrap_err().contains("--format"));
+        assert!(parse_campaign(&argv("spec.json --limit 5")).unwrap_err().contains("--format"));
+        assert!(parse_campaign(&argv("spec.json --format xml")).unwrap_err().contains("csv"));
+        assert!(parse_campaign(&argv("spec.json --detail tiny")).unwrap_err().contains("slim"));
+        assert!(parse_campaign(&argv("spec.json --format csv --limit 0"))
+            .unwrap_err()
+            .contains("positive"));
+        assert!(parse_campaign(&argv("spec.json --threads 0")).unwrap_err().contains("positive"));
+        assert!(parse_campaign(&argv("spec.json --bogus")).is_err());
+        assert!(parse_campaign(&argv("a.json b.json")).is_err(), "two positionals");
     }
 
     #[test]

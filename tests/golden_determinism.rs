@@ -15,8 +15,8 @@
 //! printed table (and justify the change in the commit).
 
 use emac::registry::Registry;
-use emac_core::campaign::{Campaign, ScenarioSpec};
-use emac_core::digest::report_digest_hex;
+use emac_core::campaign::{Campaign, CsvStreamSink, MetricsDetail, ScenarioSpec};
+use emac_core::digest::{report_digest_hex, Fnv64};
 use emac_sim::Rate;
 
 const N: usize = 8;
@@ -161,6 +161,95 @@ fn run_report_digests_match_golden() {
             divergent.first()
         );
     }
+}
+
+/// Pinned digest of the **campaign-level** CSV export over a small
+/// registry-wide grid: an FNV-1a fold of the exact bytes `to_csv` (and,
+/// byte-identically, `CsvStreamSink`) produces. The per-report digests
+/// above catch engine changes; this one catches executor/export refactors
+/// — column reordering, float formatting, row ordering, sink drift.
+const CAMPAIGN_CSV_GOLDEN: &str = "3b17903468572632";
+
+/// Registry-wide campaign grid: every algorithm × {uniform, round-robin}.
+fn campaign_matrix() -> Vec<ScenarioSpec> {
+    let algorithms: &[&str] = &[
+        "orchestra",
+        "orchestra-nomb",
+        "count-hop",
+        "adjust-window",
+        "k-cycle",
+        "k-cycle:1/2",
+        "k-clique",
+        "k-subsets",
+        "k-subsets-rrw",
+        "duty-cycle",
+    ];
+    let mut specs = Vec::new();
+    for &alg in algorithms {
+        for adv in ["uniform", "round-robin"] {
+            specs.push(
+                ScenarioSpec::new(alg, adv)
+                    .n(N)
+                    .k(K)
+                    .rho(Rate::new(1, 8))
+                    .beta(Rate::integer(1))
+                    .rounds(2_048)
+                    .seed(7),
+            );
+        }
+    }
+    specs
+}
+
+#[test]
+fn campaign_csv_digest_matches_golden() {
+    let specs = campaign_matrix();
+    let result = Campaign::new().threads(4).run(&specs, &Registry);
+    assert_eq!(result.first_error(), None, "every campaign-grid scenario must run");
+    let csv = result.to_csv();
+    let actual = format!("{:016x}", Fnv64::new().bytes(csv.as_bytes()).finish());
+    if actual != CAMPAIGN_CSV_GOLDEN {
+        println!("--- campaign CSV (re-pin the digest below after justifying the change) ---");
+        print!("{csv}");
+        panic!(
+            "campaign CSV digest diverged: expected {CAMPAIGN_CSV_GOLDEN}, got {actual}; \
+             full CSV printed above"
+        );
+    }
+    // The streaming sink writes the same bytes while the campaign runs.
+    let mut sink = CsvStreamSink::new(Vec::new());
+    Campaign::new().threads(4).run_into(&specs, &Registry, &mut sink).unwrap();
+    assert_eq!(String::from_utf8(sink.into_inner()).unwrap(), csv);
+}
+
+/// `Slim` detail invariance over the registry grid: every scalar metric
+/// equals its `Full` counterpart, so the CSV export (scalar columns only)
+/// digests identically to [`CAMPAIGN_CSV_GOLDEN`]'s bytes.
+#[test]
+fn slim_detail_scalars_match_full_on_registry_grid() {
+    let specs = campaign_matrix();
+    let full = Campaign::new().threads(4).run(&specs, &Registry);
+    let slim = Campaign::new().threads(4).detail(MetricsDetail::Slim).run(&specs, &Registry);
+    assert_eq!(full.to_csv(), slim.to_csv(), "Slim changed a scalar CSV column");
+    for (f, s) in full.reports().zip(slim.reports()) {
+        assert_eq!(report_scalars(f), report_scalars(s));
+        assert!(s.metrics.queue_series.is_empty());
+        assert!(s.metrics.delay.log2_buckets().iter().all(|&c| c == 0));
+    }
+}
+
+#[allow(clippy::type_complexity)]
+fn report_scalars(r: &emac_core::RunReport) -> (u64, u64, u64, u128, u64, u64, u64, f64) {
+    (
+        r.metrics.injected,
+        r.metrics.delivered,
+        r.metrics.delay.max(),
+        r.metrics.delay.sum(),
+        r.max_queue(),
+        r.metrics.energy_total,
+        r.metrics.delay.count(),
+        r.stability.slope,
+    )
 }
 
 #[test]
