@@ -93,6 +93,39 @@ fn large_n(rounds: u64, results: &mut Vec<BenchResult>) {
     }
 }
 
+fn frontier_bisect(rounds: u64, results: &mut Vec<BenchResult>) {
+    // Probe throughput of the frontier bisection inner loop: one map point
+    // searched serially (threads=1) so the number is per-probe cost, not
+    // parallel speedup. Diverging probes exit early through the probe cap;
+    // stable probes pay the full horizon.
+    use emac::registry::Registry;
+    use emac_core::frontier::{Frontier, FrontierSpec, MemoryMapSink};
+
+    println!("frontier: bisection probes at up to {rounds} rounds per probe");
+    let template = format!(
+        r#"{{"template": {{"algorithm": "k-cycle", "adversary": "spread-from-one",
+            "target": 1, "rounds": {rounds}, "probe_cap": 2500}},
+            "lo": "0.5 * group_share", "hi": "1.25 * k_cycle_threshold",
+            "tol": 0.015625, "map": {{"n": [16], "k": [4]}}}}"#
+    );
+    let spec = FrontierSpec::parse(&template).expect("bench frontier template");
+    // The probe count is deterministic; learn it once so work_items is the
+    // number of probes and ns/item reads as ns per probe.
+    let mut warm = MemoryMapSink::new();
+    let probes = Frontier::new()
+        .threads(1)
+        .run_into(&spec, &Registry, &mut warm, None)
+        .expect("bench frontier warm-up")
+        .probes_run as u64;
+    results.push(bench("frontier_bisect_kcycle_n16", probes, || {
+        let mut sink = MemoryMapSink::new();
+        let summary =
+            Frontier::new().threads(1).run_into(&spec, &Registry, &mut sink, None).unwrap();
+        assert_eq!(summary.probes_run as u64, probes, "probe sequence must be deterministic");
+        black_box(summary.completed);
+    }));
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -107,6 +140,7 @@ fn main() {
     engine_rounds(rounds, &mut results);
     sleeping_stations(rounds, &mut results);
     large_n(rounds, &mut results);
+    frontier_bisect(rounds, &mut results);
 
     if let Some(path) = json_path {
         let path = std::path::PathBuf::from(path);

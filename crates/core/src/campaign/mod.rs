@@ -62,6 +62,7 @@
 //! ```
 
 pub mod checkpoint;
+pub mod expr;
 pub mod json;
 pub mod row;
 pub mod sink;
@@ -77,6 +78,7 @@ use crate::runner::{RunReport, Runner};
 use json::Json;
 
 pub use checkpoint::{spec_list_digest, truncate_after_lines, Checkpoint};
+pub use expr::{Expr, ExprEnv, RateAxis};
 pub use row::CSV_HEADER;
 pub use sink::{
     CsvStreamSink, DurableFile, FnSink, JsonLinesSink, MemorySink, ResultSink, TallySink,
@@ -121,6 +123,9 @@ pub struct ScenarioSpec {
     /// Schedule-analysis horizon for the attack adversaries
     /// (`least-on`, `least-on-pair`).
     pub horizon: Option<u64>,
+    /// Stability-probe queue cap: stop the run early (verdict `Diverging`)
+    /// once this many packets are queued — see [`Runner::probe_cap`].
+    pub probe_cap: Option<u64>,
 }
 
 impl ScenarioSpec {
@@ -143,6 +148,7 @@ impl ScenarioSpec {
             dest: None,
             period: None,
             horizon: None,
+            probe_cap: None,
         }
     }
 
@@ -219,6 +225,12 @@ impl ScenarioSpec {
         self
     }
 
+    /// Set the stability-probe queue cap (early divergence exit).
+    pub fn probe_cap(mut self, probe_cap: u64) -> Self {
+        self.probe_cap = Some(probe_cap);
+        self
+    }
+
     /// Set the display label.
     pub fn label(mut self, label: impl Into<String>) -> Self {
         self.label = Some(label.into());
@@ -291,16 +303,46 @@ impl ScenarioSpec {
         if let Some(h) = self.horizon {
             obj.push(("horizon".into(), json_u64(h)));
         }
+        if let Some(p) = self.probe_cap {
+            obj.push(("probe_cap".into(), json_u64(p)));
+        }
         Json::Obj(obj)
     }
 
     /// Deserialize from a JSON object produced by [`ScenarioSpec::to_json`]
     /// or written by hand; unknown keys are rejected to catch typos.
+    /// `rho` and `beta` accept derived-axis [`expr`]essions
+    /// (`"0.8 * k_cycle_threshold"`), evaluated against the scenario's own
+    /// `n` and `k` regardless of key order.
     pub fn from_json(v: &Json) -> Result<Self, String> {
+        RawScenario::parse(v)?.resolve()
+    }
+}
+
+/// A scenario object parsed but with `rho` / `beta` left unresolved: they
+/// may be expressions over `n`, `k`, and the named paper bounds, and the
+/// environment they see depends on the caller — a plain scenario resolves
+/// against its own `n`/`k` ([`RawScenario::resolve`]), a frontier template
+/// re-resolves at every map point.
+#[derive(Clone, Debug)]
+pub struct RawScenario {
+    /// Every plain field, with `rho`/`beta` still at their defaults.
+    pub spec: ScenarioSpec,
+    /// The pending rate, when the object had a `"rho"` key.
+    pub rho: Option<RateAxis>,
+    /// The pending burstiness, when the object had a `"beta"` key.
+    pub beta: Option<RateAxis>,
+}
+
+impl RawScenario {
+    /// Parse a scenario object, leaving `rho`/`beta` pending.
+    pub fn parse(v: &Json) -> Result<Self, String> {
         let Json::Obj(members) = v else {
             return Err("scenario must be a JSON object".into());
         };
         let mut spec = ScenarioSpec::new("", "");
+        let mut rho = None;
+        let mut beta = None;
         for (key, value) in members {
             match key.as_str() {
                 "label" => spec.label = Some(req_str(value, key)?),
@@ -308,8 +350,10 @@ impl ScenarioSpec {
                 "adversary" => spec.adversary = req_str(value, key)?,
                 "n" => spec.n = req_usize(value, key)?,
                 "k" => spec.k = req_usize(value, key)?,
-                "rho" => spec.rho = rate_from_json(value).map_err(|e| format!("rho: {e}"))?,
-                "beta" => spec.beta = rate_from_json(value).map_err(|e| format!("beta: {e}"))?,
+                "rho" => rho = Some(rate_axis_from_json(value).map_err(|e| format!("rho: {e}"))?),
+                "beta" => {
+                    beta = Some(rate_axis_from_json(value).map_err(|e| format!("beta: {e}"))?)
+                }
                 "rounds" => spec.rounds = req_u64(value, key)?,
                 "drain" => spec.drain = Some(req_u64(value, key)?),
                 "cap" => spec.cap = Some(req_usize(value, key)?),
@@ -318,6 +362,7 @@ impl ScenarioSpec {
                 "dest" => spec.dest = Some(req_usize(value, key)?),
                 "period" => spec.period = Some(req_u64(value, key)?),
                 "horizon" => spec.horizon = Some(req_u64(value, key)?),
+                "probe_cap" => spec.probe_cap = Some(req_u64(value, key)?),
                 other => return Err(format!("unknown scenario key {other:?}")),
             }
         }
@@ -327,7 +372,27 @@ impl ScenarioSpec {
         if spec.adversary.is_empty() {
             return Err("scenario is missing \"adversary\"".into());
         }
-        Ok(spec)
+        Ok(Self { spec, rho, beta })
+    }
+
+    /// Resolve the pending rates against the spec's own `n` and `k`.
+    pub fn resolve(self) -> Result<ScenarioSpec, String> {
+        let env = ExprEnv::new(self.spec.n, self.spec.k);
+        self.resolve_at(&env)
+    }
+
+    /// Resolve the pending rates against an explicit environment (the
+    /// frontier's per-map-point evaluation), taking `n`/`k` from it too.
+    pub fn resolve_at(mut self, env: &ExprEnv) -> Result<ScenarioSpec, String> {
+        self.spec.n = env.n as usize;
+        self.spec.k = env.k as usize;
+        if let Some(ax) = &self.rho {
+            self.spec.rho = ax.resolve(env).map_err(|e| format!("rho: {e}"))?;
+        }
+        if let Some(ax) = &self.beta {
+            self.spec.beta = ax.resolve(env).map_err(|e| format!("beta: {e}"))?;
+        }
+        Ok(self.spec)
     }
 }
 
@@ -349,6 +414,27 @@ fn rate_from_json(v: &Json) -> Result<Rate, String> {
         }
         other => Err(format!("expected a rate, got {other:?}")),
     }
+}
+
+/// A rate axis entry in JSON: any literal form [`rate_from_json`] accepts,
+/// or a derived-axis expression string. Constant expressions collapse to
+/// literals immediately (so `"1/0"` still fails at parse time); expressions
+/// over `n`/`k` stay pending until expansion.
+pub(crate) fn rate_axis_from_json(v: &Json) -> Result<RateAxis, String> {
+    if let Json::Str(s) = v {
+        if let Ok(rate) = s.parse::<Rate>() {
+            return Ok(RateAxis::Lit(rate));
+        }
+        let e = Expr::parse(s)?;
+        return if e.uses_env() {
+            Ok(RateAxis::Expr(e))
+        } else {
+            // No environment needed: evaluate now so errors (division by
+            // zero, negative results) surface at parse time.
+            Ok(RateAxis::Lit(e.eval(&ExprEnv::new(2, 2))?))
+        };
+    }
+    rate_from_json(v).map(RateAxis::Lit)
 }
 
 fn req_str(v: &Json, key: &str) -> Result<String, String> {
@@ -391,10 +477,11 @@ pub struct Grid {
     pub ns: Vec<usize>,
     /// Cap-parameter axis.
     pub ks: Vec<usize>,
-    /// Rate axis.
-    pub rhos: Vec<Rate>,
-    /// Burstiness axis.
-    pub betas: Vec<Rate>,
+    /// Rate axis; entries may be literals or derived-axis expressions
+    /// evaluated per expanded `(n, k)` point (see [`expr`]).
+    pub rhos: Vec<RateAxis>,
+    /// Burstiness axis; same forms as the rate axis.
+    pub betas: Vec<RateAxis>,
     /// Seed axis.
     pub seeds: Vec<u64>,
     /// Scalar applied to every expanded spec.
@@ -411,6 +498,8 @@ pub struct Grid {
     pub period: Option<u64>,
     /// Scalar schedule horizon.
     pub horizon: Option<u64>,
+    /// Scalar stability-probe queue cap.
+    pub probe_cap: Option<u64>,
 }
 
 impl Grid {
@@ -422,8 +511,8 @@ impl Grid {
             adversaries: vec![adversary.into()],
             ns: vec![d.n],
             ks: vec![d.k],
-            rhos: vec![d.rho],
-            betas: vec![d.beta],
+            rhos: vec![RateAxis::Lit(d.rho)],
+            betas: vec![RateAxis::Lit(d.beta)],
             seeds: vec![d.seed],
             rounds: d.rounds,
             drain: None,
@@ -432,6 +521,7 @@ impl Grid {
             dest: None,
             period: None,
             horizon: None,
+            probe_cap: None,
         }
     }
 
@@ -459,14 +549,27 @@ impl Grid {
         self
     }
 
-    /// Replace the rate axis.
+    /// Replace the rate axis with literal rates.
     pub fn rhos(mut self, axis: impl IntoIterator<Item = Rate>) -> Self {
+        self.rhos = axis.into_iter().map(RateAxis::Lit).collect();
+        self
+    }
+
+    /// Replace the rate axis with derived-axis expressions (mixable with
+    /// literals via [`RateAxis`]); evaluated per expanded `(n, k)` point.
+    pub fn rho_axes(mut self, axis: impl IntoIterator<Item = RateAxis>) -> Self {
         self.rhos = axis.into_iter().collect();
         self
     }
 
-    /// Replace the burstiness axis.
+    /// Replace the burstiness axis with literal rates.
     pub fn betas(mut self, axis: impl IntoIterator<Item = Rate>) -> Self {
+        self.betas = axis.into_iter().map(RateAxis::Lit).collect();
+        self
+    }
+
+    /// Replace the burstiness axis with derived-axis expressions.
+    pub fn beta_axes(mut self, axis: impl IntoIterator<Item = RateAxis>) -> Self {
         self.betas = axis.into_iter().collect();
         self
     }
@@ -519,6 +622,12 @@ impl Grid {
         self
     }
 
+    /// Set the stability-probe queue cap applied to every spec.
+    pub fn probe_cap(mut self, probe_cap: u64) -> Self {
+        self.probe_cap = Some(probe_cap);
+        self
+    }
+
     /// Number of scenarios [`Grid::expand`] will produce.
     pub fn cardinality(&self) -> usize {
         self.algorithms.len()
@@ -531,15 +640,27 @@ impl Grid {
     }
 
     /// Expand the cartesian product in a fixed nesting order
-    /// (algorithm → adversary → n → k → ρ → β → seed).
+    /// (algorithm → adversary → n → k → ρ → β → seed). Panics if a
+    /// derived-axis expression fails to evaluate at some `(n, k)` point —
+    /// use [`Grid::try_expand`] when axes may be expressions.
     pub fn expand(&self) -> Vec<ScenarioSpec> {
+        self.try_expand().expect("grid expansion failed")
+    }
+
+    /// Expand the cartesian product, evaluating derived-axis expressions
+    /// at every `(n, k)` point; the first evaluation error aborts the
+    /// expansion.
+    pub fn try_expand(&self) -> Result<Vec<ScenarioSpec>, String> {
         let mut specs = Vec::with_capacity(self.cardinality());
         for alg in &self.algorithms {
             for adv in &self.adversaries {
                 for &n in &self.ns {
                     for &k in &self.ks {
-                        for &rho in &self.rhos {
-                            for &beta in &self.betas {
+                        let env = ExprEnv::new(n, k);
+                        for rho in &self.rhos {
+                            let rho = rho.resolve(&env).map_err(|e| format!("rho: {e}"))?;
+                            for beta in &self.betas {
+                                let beta = beta.resolve(&env).map_err(|e| format!("beta: {e}"))?;
                                 for &seed in &self.seeds {
                                     let mut s = ScenarioSpec::new(alg.clone(), adv.clone());
                                     s.n = n;
@@ -554,6 +675,7 @@ impl Grid {
                                     s.dest = self.dest;
                                     s.period = self.period;
                                     s.horizon = self.horizon;
+                                    s.probe_cap = self.probe_cap;
                                     specs.push(s);
                                 }
                             }
@@ -562,7 +684,7 @@ impl Grid {
                 }
             }
         }
-        specs
+        Ok(specs)
     }
 
     /// Parse a grid from its JSON form: axes are arrays (or scalars, read
@@ -586,8 +708,14 @@ impl Grid {
                 }
                 "n" => grid.ns = axis(value, |j| req_usize(j, key))?,
                 "k" => grid.ks = axis(value, |j| req_usize(j, key))?,
-                "rho" => grid.rhos = axis(value, rate_from_json)?,
-                "beta" => grid.betas = axis(value, rate_from_json)?,
+                "rho" => {
+                    grid.rhos =
+                        axis(value, |j| rate_axis_from_json(j).map_err(|e| format!("rho: {e}")))?
+                }
+                "beta" => {
+                    grid.betas =
+                        axis(value, |j| rate_axis_from_json(j).map_err(|e| format!("beta: {e}")))?
+                }
                 "seed" | "seeds" => grid.seeds = axis(value, |j| req_u64(j, key))?,
                 "rounds" => grid.rounds = req_u64(value, key)?,
                 "drain" => grid.drain = Some(req_u64(value, key)?),
@@ -596,6 +724,7 @@ impl Grid {
                 "dest" => grid.dest = Some(req_usize(value, key)?),
                 "period" => grid.period = Some(req_u64(value, key)?),
                 "horizon" => grid.horizon = Some(req_u64(value, key)?),
+                "probe_cap" => grid.probe_cap = Some(req_u64(value, key)?),
                 other => return Err(format!("unknown grid key {other:?}")),
             }
         }
@@ -651,7 +780,7 @@ pub fn parse_campaign_spec(text: &str) -> Result<Vec<ScenarioSpec>, String> {
                     "grids" => {
                         let items = value.as_array().ok_or("\"grids\" must be an array")?;
                         for item in items {
-                            specs.extend(Grid::from_json(item)?.expand());
+                            specs.extend(Grid::from_json(item)?.try_expand()?);
                         }
                     }
                     other => return Err(format!("unknown top-level key {other:?}")),
@@ -894,6 +1023,9 @@ fn execute_one<F: ScenarioFactory>(spec: &ScenarioSpec, factory: &F) -> Scenario
         if let Some(cap) = spec.cap {
             runner = runner.cap(cap);
         }
+        if let Some(probe_cap) = spec.probe_cap {
+            runner = runner.probe_cap(probe_cap);
+        }
         runner.try_run_against(algorithm.as_ref(), |schedule| factory.adversary(spec, schedule))
     }))
     .unwrap_or_else(|panic| {
@@ -1064,6 +1196,71 @@ mod tests {
 
         assert!(parse_campaign_spec("{}").is_err(), "no scenarios");
         assert!(parse_campaign_spec(r#"{"grids":[{"algorithms":[]}]}"#).is_err());
+    }
+
+    #[test]
+    fn grid_expressions_derive_rho_per_point() {
+        // The ROADMAP's spec-ergonomics case: ρ derived from each (n, k).
+        let doc = r#"{
+            "grids": [
+                {"algorithms": ["k-cycle"], "adversaries": ["uniform"],
+                 "n": [9, 13], "k": [3, 4], "rho": "0.8 * k_cycle_threshold",
+                 "beta": ["1", "n / (2 * n)"], "rounds": 1000}
+            ]
+        }"#;
+        let specs = parse_campaign_spec(doc).unwrap();
+        assert_eq!(specs.len(), 8);
+        // 0.8·(k−1)/(n−1): n=9,k=3 → 1/5; n=13,k=4 → 1/5; n=9,k=4 → 3/10
+        assert_eq!(specs[0].rho, Rate::new(1, 5));
+        assert_eq!(specs[2].rho, Rate::new(3, 10));
+        assert_eq!(specs[4].rho, Rate::new(2, 15)); // n=13,k=3
+        assert_eq!(specs[6].rho, Rate::new(1, 5)); // n=13,k=4
+                                                   // the β axis mixes a literal and an expression
+        assert_eq!(specs[0].beta, Rate::integer(1));
+        assert_eq!(specs[1].beta, Rate::new(1, 2));
+    }
+
+    #[test]
+    fn scenario_expressions_resolve_against_own_n_and_k_in_any_key_order() {
+        // rho written *before* n and k still sees the final values
+        let doc = r#"{"algorithm": "k-cycle", "adversary": "uniform",
+                      "rho": "0.8 * k_cycle_threshold", "n": 9, "k": 3, "rounds": 10}"#;
+        let spec = ScenarioSpec::from_json(&Json::parse(doc).unwrap()).unwrap();
+        assert_eq!(spec.rho, Rate::new(1, 5));
+    }
+
+    #[test]
+    fn expression_errors_surface_at_parse_or_expansion() {
+        // constant division by zero: rejected at parse time
+        let doc = r#"{"grids": [{"algorithms": ["a"], "adversaries": ["b"],
+                      "rho": "1/(2-2)", "rounds": 10}]}"#;
+        let err = parse_campaign_spec(doc).unwrap_err();
+        assert!(err.contains("division by zero"), "{err}");
+        // environment-dependent division by zero: rejected at expansion
+        let doc = r#"{"grids": [{"algorithms": ["a"], "adversaries": ["b"],
+                      "n": [8], "rho": "1/(n-8)", "rounds": 10}]}"#;
+        let err = parse_campaign_spec(doc).unwrap_err();
+        assert!(err.contains("division by zero"), "{err}");
+        // parse error names the bad token
+        let doc = r#"{"grids": [{"algorithms": ["a"], "adversaries": ["b"],
+                      "rho": "0.8 *", "rounds": 10}]}"#;
+        assert!(parse_campaign_spec(doc).is_err());
+        // unknown identifier
+        let doc = r#"{"scenarios": [{"algorithm": "a", "adversary": "b",
+                      "rho": "threshold", "rounds": 10}]}"#;
+        let err = parse_campaign_spec(doc).unwrap_err();
+        assert!(err.contains("unknown identifier"), "{err}");
+    }
+
+    #[test]
+    fn probe_cap_round_trips_and_expands() {
+        let spec = ScenarioSpec::new("a", "b").probe_cap(500);
+        let json = spec.to_json().render();
+        let back = ScenarioSpec::from_json(&Json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back.probe_cap, Some(500));
+        assert_eq!(back, spec);
+        let grid = Grid::new("a", "b").probe_cap(700);
+        assert!(grid.expand().iter().all(|s| s.probe_cap == Some(700)));
     }
 
     #[test]

@@ -1,0 +1,281 @@
+//! Frontier checkpoints: crash-safe bisection state.
+//!
+//! A frontier search's full state is (a) which probes have run and what
+//! each said, and (b) how many output rows are already durable — bisection
+//! is a deterministic function of the per-point verdict sequence, so a
+//! checkpoint need only record `probe` and `row` lines and a resume
+//! *replays* them through the same state machine to land exactly where a
+//! killed run stopped, mid-bisection included. Same discipline as the
+//! campaign checkpoint: every line is fsync'd before the engine moves on,
+//! a `row` line is appended only after the output sink made the row
+//! durable, the header digest binds the frontier spec **and** the output
+//! format, and a torn trailing line (kill mid-append) is ignored.
+//!
+//! # File format
+//!
+//! ```text
+//! emac-frontier-ckpt v1
+//! digest 4a3f9c0e12b45d67
+//! points 4
+//! probe 0 s
+//! probe 1 d
+//! row 0
+//! …
+//! ```
+//!
+//! Verdicts are one letter: `s`table, `d`iverging, `i`nconclusive.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::stability::Verdict;
+
+const MAGIC: &str = "emac-frontier-ckpt v1";
+
+/// Persistent record of probe verdicts and emitted rows — see the module
+/// docs for the format and durability contract.
+#[derive(Debug)]
+pub struct FrontierCheckpoint {
+    path: PathBuf,
+    points: usize,
+    probes: Vec<(usize, Verdict)>,
+    rows: usize,
+    file: File,
+}
+
+fn verdict_letter(v: Verdict) -> char {
+    match v {
+        Verdict::Stable => 's',
+        Verdict::Diverging => 'd',
+        Verdict::Inconclusive => 'i',
+    }
+}
+
+fn verdict_from_letter(s: &str) -> Option<Verdict> {
+    match s {
+        "s" => Some(Verdict::Stable),
+        "d" => Some(Verdict::Diverging),
+        "i" => Some(Verdict::Inconclusive),
+        _ => None,
+    }
+}
+
+impl FrontierCheckpoint {
+    /// Start a fresh checkpoint at `path` (truncating any previous one)
+    /// for a map of `points` points whose spec digests to `digest`
+    /// ([`FrontierSpec::digest`](super::FrontierSpec::digest)).
+    pub fn fresh(path: &Path, digest: u64, points: usize) -> Result<Self, String> {
+        let mut file =
+            File::create(path).map_err(|e| format!("checkpoint {}: {e}", path.display()))?;
+        file.write_all(format!("{MAGIC}\ndigest {digest:016x}\npoints {points}\n").as_bytes())
+            .and_then(|()| file.sync_all())
+            .map_err(|e| format!("checkpoint {}: {e}", path.display()))?;
+        Ok(Self { path: path.to_path_buf(), points, probes: Vec::new(), rows: 0, file })
+    }
+
+    /// Resume from `path`, verifying the digest and point count. A missing
+    /// file starts fresh; a mismatch is refused.
+    pub fn resume(path: &Path, digest: u64, points: usize) -> Result<Self, String> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Self::fresh(path, digest, points);
+            }
+            Err(e) => return Err(format!("checkpoint {}: {e}", path.display())),
+        };
+        let (probes, rows) = parse_body(&text, digest, points)
+            .map_err(|e| format!("checkpoint {}: {e}", path.display()))?;
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("checkpoint {}: {e}", path.display()))?;
+        Ok(Self { path: path.to_path_buf(), points, probes, rows, file })
+    }
+
+    /// Record one probe verdict for map point `point`. Appended and
+    /// fsync'd before returning.
+    pub fn record_probe(&mut self, point: usize, verdict: Verdict) -> Result<(), String> {
+        debug_assert!(point < self.points);
+        writeln!(self.file, "probe {point} {}", verdict_letter(verdict))
+            .and_then(|()| self.file.sync_data())
+            .map_err(|e| format!("checkpoint {}: {e}", self.path.display()))?;
+        self.probes.push((point, verdict));
+        Ok(())
+    }
+
+    /// Record that map point `index`'s output row is durably written.
+    /// Rows are emitted in map order, so `index` must be the next row.
+    pub fn record_row(&mut self, index: usize) -> Result<(), String> {
+        if index != self.rows {
+            return Err(format!(
+                "checkpoint {}: row {index} recorded out of order (expected {})",
+                self.path.display(),
+                self.rows
+            ));
+        }
+        writeln!(self.file, "row {index}")
+            .and_then(|()| self.file.sync_data())
+            .map_err(|e| format!("checkpoint {}: {e}", self.path.display()))?;
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// The recorded probes, in recording (= verdict-arrival) order.
+    pub fn probes(&self) -> &[(usize, Verdict)] {
+        &self.probes
+    }
+
+    /// Number of output rows the checkpoint claims durable — the line
+    /// count (minus any CSV header) to reconcile the output file to before
+    /// resuming.
+    pub fn rows_written(&self) -> usize {
+        self.rows
+    }
+
+    /// The map size this checkpoint tracks.
+    pub fn points(&self) -> usize {
+        self.points
+    }
+}
+
+type Parsed = (Vec<(usize, Verdict)>, usize);
+
+fn parse_body(text: &str, digest: u64, points: usize) -> Result<Parsed, String> {
+    let mut lines = text.split('\n');
+    if lines.next() != Some(MAGIC) {
+        return Err("not a frontier checkpoint (bad magic line)".into());
+    }
+    let recorded = lines
+        .next()
+        .and_then(|l| l.strip_prefix("digest "))
+        .and_then(|h| u64::from_str_radix(h, 16).ok())
+        .ok_or("malformed digest line")?;
+    if recorded != digest {
+        return Err(format!(
+            "spec digest mismatch (checkpoint {recorded:016x}, spec {digest:016x}): \
+             the frontier spec or output options changed since this map started; \
+             refusing to resume"
+        ));
+    }
+    let recorded_points = lines
+        .next()
+        .and_then(|l| l.strip_prefix("points "))
+        .and_then(|t| t.parse::<usize>().ok())
+        .ok_or("malformed points line")?;
+    if recorded_points != points {
+        return Err(format!(
+            "map size mismatch (checkpoint {recorded_points}, spec {points}); \
+             refusing to resume"
+        ));
+    }
+    let mut probes = Vec::new();
+    let mut rows = 0usize;
+    let body: Vec<&str> = lines.collect();
+    // A kill mid-append may leave a torn final fragment; everything before
+    // the last newline is trustworthy.
+    let complete = if text.ends_with('\n') { body.len() } else { body.len().saturating_sub(1) };
+    for line in &body[..complete] {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("probe ") {
+            let (point, letter) =
+                rest.split_once(' ').ok_or_else(|| format!("malformed probe line {line:?}"))?;
+            let point: usize =
+                point.parse().map_err(|_| format!("malformed probe line {line:?}"))?;
+            if point >= points {
+                return Err(format!("probe for map point {point} of a {points}-point map"));
+            }
+            let verdict = verdict_from_letter(letter)
+                .ok_or_else(|| format!("malformed probe line {line:?}"))?;
+            probes.push((point, verdict));
+        } else if let Some(index) = line.strip_prefix("row ") {
+            let index: usize = index.parse().map_err(|_| format!("malformed row line {line:?}"))?;
+            if index != rows {
+                return Err(format!("row {index} recorded out of order (expected {rows})"));
+            }
+            rows += 1;
+        } else {
+            return Err(format!("malformed checkpoint line {line:?}"));
+        }
+    }
+    if rows > points {
+        return Err(format!("checkpoint records {rows} rows of a {points}-point map"));
+    }
+    Ok((probes, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("emac-frontier-ckpt-{}-{tag}.ckpt", std::process::id()))
+    }
+
+    #[test]
+    fn fresh_record_resume_round_trip() {
+        let path = temp_path("roundtrip");
+        let mut ck = FrontierCheckpoint::fresh(&path, 0xfeed, 3).unwrap();
+        ck.record_probe(0, Verdict::Stable).unwrap();
+        ck.record_probe(2, Verdict::Diverging).unwrap();
+        ck.record_probe(0, Verdict::Inconclusive).unwrap();
+        ck.record_row(0).unwrap();
+        drop(ck);
+        let ck = FrontierCheckpoint::resume(&path, 0xfeed, 3).unwrap();
+        assert_eq!(
+            ck.probes(),
+            &[(0, Verdict::Stable), (2, Verdict::Diverging), (0, Verdict::Inconclusive)]
+        );
+        assert_eq!(ck.rows_written(), 1);
+        assert_eq!(ck.points(), 3);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn refuses_mismatch_and_garbage() {
+        let path = temp_path("mismatch");
+        FrontierCheckpoint::fresh(&path, 7, 3).unwrap();
+        assert!(FrontierCheckpoint::resume(&path, 8, 3).unwrap_err().contains("digest mismatch"));
+        assert!(FrontierCheckpoint::resume(&path, 7, 4).unwrap_err().contains("size mismatch"));
+        std::fs::write(&path, "nope\n").unwrap();
+        assert!(FrontierCheckpoint::resume(&path, 7, 3).unwrap_err().contains("bad magic"));
+        std::fs::write(&path, format!("{MAGIC}\ndigest {:016x}\npoints 2\nprobe 5 s\n", 7u64))
+            .unwrap();
+        assert!(FrontierCheckpoint::resume(&path, 7, 2).unwrap_err().contains("map point 5"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_rows_must_be_ordered() {
+        let path = temp_path("torn");
+        let mut ck = FrontierCheckpoint::fresh(&path, 9, 4).unwrap();
+        ck.record_probe(1, Verdict::Diverging).unwrap();
+        drop(ck);
+        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+        write!(file, "probe 2 s").unwrap(); // torn: no newline
+        drop(file);
+        let ck = FrontierCheckpoint::resume(&path, 9, 4).unwrap();
+        assert_eq!(ck.probes().len(), 1, "torn tail dropped");
+        let _ = std::fs::remove_file(&path);
+
+        let path = temp_path("order");
+        std::fs::write(&path, format!("{MAGIC}\ndigest {:016x}\npoints 4\nrow 1\n", 9u64)).unwrap();
+        assert!(FrontierCheckpoint::resume(&path, 9, 4).unwrap_err().contains("out of order"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_starts_fresh_and_record_row_enforces_order() {
+        let path = temp_path("missing");
+        let _ = std::fs::remove_file(&path);
+        let mut ck = FrontierCheckpoint::resume(&path, 1, 2).unwrap();
+        assert_eq!(ck.rows_written(), 0);
+        assert!(path.exists());
+        assert!(ck.record_row(1).unwrap_err().contains("out of order"));
+        ck.record_row(0).unwrap();
+        ck.record_row(1).unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+}

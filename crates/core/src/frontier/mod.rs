@@ -1,0 +1,1028 @@
+//! Adaptive stability-boundary mapping.
+//!
+//! The paper's central results are stability *regions* — injection-rate
+//! thresholds like k-Cycle's `(k−1)/(n−1)` (Theorem 5) and the
+//! k-Subsets/k-Clique rate frontiers — but a fixed campaign grid can only
+//! sample them; finding where the verdict flips meant eyeballing rows.
+//! This module *searches* for the boundary: given a scenario template, a
+//! search axis (`rho` or `beta`), and a bracket, it bisects the
+//! stable/unstable boundary to a requested tolerance using the existing
+//! stability verdict, and sweeps that bisection across one or two *map
+//! axes* (`n`, `k`) to emit a frontier map — one row
+//! `(n, k, lo, hi, boundary, probes, status)` per map point.
+//!
+//! The search is layered **on** the campaign machinery, not beside it:
+//! every refinement wave is a batch of [`ScenarioSpec`]s executed through
+//! [`Campaign::run_subset`]'s parallel sink pipeline, so frontier runs
+//! inherit the ordered hand-off (probe verdicts arrive in spec order no
+//! matter how workers are scheduled), [`MetricsDetail::Slim`], and the
+//! determinism guarantees: a frontier map is **byte-identical at any
+//! thread count**, and a killed map resumes mid-bisection from its
+//! [`FrontierCheckpoint`] to the same bytes as an uninterrupted run.
+//!
+//! Template fields and the bracket endpoints accept derived-axis
+//! [`expr`](crate::campaign::expr)essions evaluated per map point, so one
+//! template spans every `(n, k)`:
+//!
+//! ```json
+//! {
+//!   "template": {"algorithm": "k-cycle", "adversary": "spread-from-one",
+//!                "target": 1, "beta": "2", "rounds": 150000, "probe_cap": 4000},
+//!   "axis": "rho",
+//!   "lo": "0.5 * group_share",
+//!   "hi": "1.25 * k_cycle_threshold",
+//!   "tol": 0.01,
+//!   "map": {"n": [9, 13], "k": [3, 4]}
+//! }
+//! ```
+//!
+//! # Bisection contract
+//!
+//! Each map point first probes `lo` and `hi`. A point whose `lo` probe
+//! already diverges finishes as `all-diverging`; one whose `hi` probe is
+//! stable finishes as `all-stable`; otherwise `[lo, hi]` brackets the
+//! boundary and is halved (exact rational midpoints) until its width is at
+//! most `tol` (`converged`). Only a `Diverging` verdict counts as above
+//! the boundary; `Inconclusive` (possible only for horizons too short to
+//! sample 16 queue points) is treated as stable — give templates a real
+//! horizon. The template's `probe_cap` makes above-boundary probes cheap:
+//! they exit as soon as the queue blows past the cap
+//! ([`Runner::probe_cap`](crate::runner::Runner::probe_cap)).
+
+pub mod checkpoint;
+
+use std::io::Write;
+
+use emac_sim::Rate;
+
+use crate::campaign::expr::{gcd, ExprEnv, RateAxis};
+use crate::campaign::json::Json;
+use crate::campaign::rate_str;
+use crate::campaign::{
+    Campaign, FnSink, MetricsDetail, RawScenario, ScenarioFactory, ScenarioSpec,
+};
+use crate::digest::Fnv64;
+use crate::stability::Verdict;
+
+pub use checkpoint::FrontierCheckpoint;
+
+/// The spec field the bisection varies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SearchAxis {
+    /// Bisect the injection rate ρ (bracket confined to `[0, 1]`).
+    Rho,
+    /// Bisect the burstiness β.
+    Beta,
+}
+
+impl SearchAxis {
+    /// Parse an axis name (`"rho"` or `"beta"`).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "rho" => Ok(SearchAxis::Rho),
+            "beta" => Ok(SearchAxis::Beta),
+            other => Err(format!("search axis must be rho or beta, got {other:?}")),
+        }
+    }
+
+    /// The axis name as it appears in specs and output rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            SearchAxis::Rho => "rho",
+            SearchAxis::Beta => "beta",
+        }
+    }
+}
+
+/// One `(n, k)` coordinate of the frontier map.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MapPoint {
+    /// System size.
+    pub n: usize,
+    /// Cap parameter.
+    pub k: usize,
+}
+
+/// How a map point's search ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Status {
+    /// The bracket narrowed to the tolerance; `[lo, hi]` straddles the
+    /// boundary.
+    Converged,
+    /// Even the `hi` endpoint was stable — the boundary (if any) lies
+    /// above the bracket.
+    AllStable,
+    /// Even the `lo` endpoint diverged — the boundary lies below the
+    /// bracket.
+    AllDiverging,
+}
+
+impl Status {
+    /// The status as it appears in output rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            Status::Converged => "converged",
+            Status::AllStable => "all-stable",
+            Status::AllDiverging => "all-diverging",
+        }
+    }
+}
+
+/// A parsed frontier search specification — see the module docs for the
+/// JSON form.
+#[derive(Clone, Debug)]
+pub struct FrontierSpec {
+    /// The scenario template; `rho`/`beta` stay pending so expressions are
+    /// re-evaluated per map point.
+    pub template: RawScenario,
+    /// The field the bisection varies.
+    pub axis: SearchAxis,
+    /// Lower bracket endpoint (literal or expression, per map point).
+    pub lo: RateAxis,
+    /// Upper bracket endpoint.
+    pub hi: RateAxis,
+    /// Bracket width at which a point counts as converged (exclusive
+    /// upper bound on the final `hi − lo`).
+    pub tol: f64,
+    /// Map axis: system sizes.
+    pub ns: Vec<usize>,
+    /// Map axis: cap parameters.
+    pub ks: Vec<usize>,
+}
+
+impl FrontierSpec {
+    /// Parse a frontier spec document.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        Self::from_json(&Json::parse(text)?)
+    }
+
+    /// Parse from a JSON value; unknown keys are rejected.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let Json::Obj(members) = v else {
+            return Err("frontier spec must be a JSON object".into());
+        };
+        let mut template = None;
+        let mut axis = SearchAxis::Rho;
+        let mut lo = RateAxis::Lit(Rate::zero());
+        let mut hi = RateAxis::Lit(Rate::one());
+        let mut tol = 0.01f64;
+        let mut ns = None;
+        let mut ks = None;
+        for (key, value) in members {
+            match key.as_str() {
+                "template" => template = Some(RawScenario::parse(value)?),
+                "axis" => {
+                    axis = SearchAxis::parse(value.as_str().ok_or("\"axis\" must be a string")?)?
+                }
+                "lo" => lo = rate_axis(value).map_err(|e| format!("lo: {e}"))?,
+                "hi" => hi = rate_axis(value).map_err(|e| format!("hi: {e}"))?,
+                "tol" => {
+                    tol = value.as_f64().ok_or("\"tol\" must be a number")?;
+                }
+                "map" => {
+                    let Json::Obj(axes) = value else {
+                        return Err("\"map\" must be an object".into());
+                    };
+                    for (axis_key, axis_value) in axes {
+                        let parsed = int_axis(axis_value, axis_key)?;
+                        match axis_key.as_str() {
+                            "n" => ns = Some(parsed),
+                            "k" => ks = Some(parsed),
+                            other => {
+                                return Err(format!("unknown map axis {other:?} (supported: n, k)"))
+                            }
+                        }
+                    }
+                }
+                other => return Err(format!("unknown frontier key {other:?}")),
+            }
+        }
+        let template = template.ok_or("frontier spec needs a \"template\"")?;
+        let spec = Self {
+            ns: ns.unwrap_or_else(|| vec![template.spec.n]),
+            ks: ks.unwrap_or_else(|| vec![template.spec.k]),
+            template,
+            axis,
+            lo,
+            hi,
+            tol,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Range checks (also run by [`FrontierSpec::from_json`]); call again
+    /// after overriding `tol` or the axes in code.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.tol.is_finite() || self.tol <= 0.0 {
+            return Err(format!("tol must be a positive number, got {}", self.tol));
+        }
+        if self.tol < 1e-9 {
+            return Err(format!("tol {} is finer than bisection can resolve (min 1e-9)", self.tol));
+        }
+        if self.ns.is_empty() || self.ks.is_empty() {
+            return Err("map axes must be non-empty".into());
+        }
+        Ok(())
+    }
+
+    /// The map points in output order: `n` outer, `k` inner.
+    pub fn points(&self) -> Vec<MapPoint> {
+        let mut points = Vec::with_capacity(self.ns.len() * self.ks.len());
+        for &n in &self.ns {
+            for &k in &self.ks {
+                points.push(MapPoint { n, k });
+            }
+        }
+        points
+    }
+
+    /// Canonical JSON rendering — the digest input, so any change to the
+    /// template, axis, bracket, tolerance, or map invalidates checkpoints.
+    pub fn to_json(&self) -> Json {
+        let mut template = match self.template.spec.to_json() {
+            Json::Obj(members) => members,
+            _ => unreachable!("spec serializes to an object"),
+        };
+        let override_rate =
+            |members: &mut Vec<(String, Json)>, key: &str, ax: &Option<RateAxis>| {
+                if let Some(ax) = ax {
+                    for (k, v) in members.iter_mut() {
+                        if k == key {
+                            *v = Json::Str(ax.text());
+                        }
+                    }
+                }
+            };
+        override_rate(&mut template, "rho", &self.template.rho);
+        override_rate(&mut template, "beta", &self.template.beta);
+        Json::Obj(vec![
+            ("template".into(), Json::Obj(template)),
+            ("axis".into(), Json::Str(self.axis.name().into())),
+            ("lo".into(), Json::Str(self.lo.text())),
+            ("hi".into(), Json::Str(self.hi.text())),
+            ("tol".into(), Json::Float(self.tol)),
+            (
+                "map".into(),
+                Json::Obj(vec![
+                    ("n".into(), Json::Arr(self.ns.iter().map(|&n| Json::Int(n as i64)).collect())),
+                    ("k".into(), Json::Arr(self.ks.iter().map(|&k| Json::Int(k as i64)).collect())),
+                ]),
+            ),
+        ])
+    }
+
+    /// FNV-1a digest binding this spec *and* the output format, for
+    /// checkpoint/resume compatibility checks.
+    pub fn digest(&self, format_tag: &str) -> u64 {
+        let mut h = Fnv64::new();
+        h.str(&self.to_json().render());
+        h.str(format_tag);
+        h.finish()
+    }
+}
+
+fn rate_axis(v: &Json) -> Result<RateAxis, String> {
+    // Frontier endpoints reuse the grid's literal-or-expression forms; the
+    // shared parser lives next to the grid code.
+    crate::campaign::rate_axis_from_json(v)
+}
+
+fn int_axis(v: &Json, key: &str) -> Result<Vec<usize>, String> {
+    let items: Vec<usize> = match v {
+        Json::Arr(items) => items
+            .iter()
+            .map(|j| j.as_usize().ok_or_else(|| format!("map axis {key} must hold integers")))
+            .collect::<Result<_, _>>()?,
+        scalar => {
+            vec![scalar.as_usize().ok_or_else(|| format!("map axis {key} must hold integers"))?]
+        }
+    };
+    if items.is_empty() {
+        return Err(format!("map axis {key} must be non-empty"));
+    }
+    Ok(items)
+}
+
+/// One finished map point, as it appears in the output.
+#[derive(Clone, Debug)]
+pub struct MapRow {
+    /// Position in the map-point order.
+    pub index: usize,
+    /// The map coordinate.
+    pub point: MapPoint,
+    /// The search axis (all rows of one map share it).
+    pub axis: SearchAxis,
+    /// Final lower bracket endpoint (highest rate observed stable for
+    /// `converged` rows).
+    pub lo: Rate,
+    /// Final upper bracket endpoint (lowest rate observed diverging).
+    pub hi: Rate,
+    /// Probes spent on this point.
+    pub probes: u32,
+    /// How the search ended.
+    pub status: Status,
+}
+
+impl MapRow {
+    /// The boundary estimate: the bracket midpoint as a float. Only
+    /// meaningful for `converged` rows — the status column says so.
+    pub fn boundary(&self) -> f64 {
+        (self.lo.as_f64() + self.hi.as_f64()) / 2.0
+    }
+}
+
+/// Columns of every frontier CSV export.
+pub const FRONTIER_CSV_HEADER: &str = "n,k,axis,lo,hi,boundary,probes,status";
+
+/// One map row as a CSV line (no trailing newline), matching
+/// [`FRONTIER_CSV_HEADER`]. Bracket endpoints are exact rationals; the
+/// boundary estimate is fixed to six decimals so exports are
+/// byte-deterministic.
+pub fn csv_row(row: &MapRow) -> String {
+    format!(
+        "{},{},{},{},{},{:.6},{},{}",
+        row.point.n,
+        row.point.k,
+        row.axis.name(),
+        rate_str(row.lo),
+        rate_str(row.hi),
+        row.boundary(),
+        row.probes,
+        row.status.name()
+    )
+}
+
+/// One map row as a compact JSON object (the JSONL line format).
+pub fn row_json(row: &MapRow) -> Json {
+    Json::Obj(vec![
+        ("index".into(), Json::Int(row.index as i64)),
+        ("n".into(), Json::Int(row.point.n as i64)),
+        ("k".into(), Json::Int(row.point.k as i64)),
+        ("axis".into(), Json::Str(row.axis.name().into())),
+        ("lo".into(), Json::Str(rate_str(row.lo))),
+        ("hi".into(), Json::Str(rate_str(row.hi))),
+        ("boundary".into(), Json::Float(row.boundary())),
+        ("probes".into(), Json::Int(row.probes as i64)),
+        ("status".into(), Json::Str(row.status.name().into())),
+    ])
+}
+
+/// Consumer of finished map rows, invoked in map-point order.
+pub trait MapSink {
+    /// Consume one finished map point.
+    fn accept(&mut self, row: &MapRow) -> Result<(), String>;
+
+    /// Make everything accepted so far durable; called before the
+    /// checkpoint records the row (same contract as the campaign's
+    /// [`ResultSink::sync`](crate::campaign::ResultSink::sync)).
+    fn sync(&mut self) -> Result<(), String> {
+        Ok(())
+    }
+
+    /// Called once after the last row of a *complete* map (not after a
+    /// wave-bounded partial run).
+    fn finish(&mut self) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+/// Frontier CSV writer (streaming, constant memory).
+#[derive(Debug)]
+pub struct CsvMapSink<W: Write> {
+    out: W,
+    header_pending: bool,
+}
+
+impl<W: Write> CsvMapSink<W> {
+    /// A sink that writes the header before the first row.
+    pub fn new(out: W) -> Self {
+        Self { out, header_pending: true }
+    }
+
+    /// A sink that appends rows only (resuming into an existing file).
+    pub fn appending(out: W) -> Self {
+        Self { out, header_pending: false }
+    }
+
+    /// Recover the writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: Write> MapSink for CsvMapSink<W> {
+    fn accept(&mut self, row: &MapRow) -> Result<(), String> {
+        if self.header_pending {
+            self.header_pending = false;
+            writeln!(self.out, "{FRONTIER_CSV_HEADER}").map_err(|e| format!("csv sink: {e}"))?;
+        }
+        writeln!(self.out, "{}", csv_row(row)).map_err(|e| format!("csv sink: {e}"))
+    }
+
+    fn sync(&mut self) -> Result<(), String> {
+        self.out.flush().map_err(|e| format!("csv sink: {e}"))
+    }
+
+    fn finish(&mut self) -> Result<(), String> {
+        if self.header_pending {
+            self.header_pending = false;
+            writeln!(self.out, "{FRONTIER_CSV_HEADER}").map_err(|e| format!("csv sink: {e}"))?;
+        }
+        self.out.flush().map_err(|e| format!("csv sink: {e}"))
+    }
+}
+
+/// Frontier JSON-Lines writer.
+#[derive(Debug)]
+pub struct JsonMapSink<W: Write> {
+    out: W,
+}
+
+impl<W: Write> JsonMapSink<W> {
+    /// A sink writing one compact object per line (no header, so fresh and
+    /// resumed maps construct it the same way).
+    pub fn new(out: W) -> Self {
+        Self { out }
+    }
+
+    /// Recover the writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: Write> MapSink for JsonMapSink<W> {
+    fn accept(&mut self, row: &MapRow) -> Result<(), String> {
+        writeln!(self.out, "{}", row_json(row).render()).map_err(|e| format!("jsonl sink: {e}"))
+    }
+
+    fn sync(&mut self) -> Result<(), String> {
+        self.out.flush().map_err(|e| format!("jsonl sink: {e}"))
+    }
+
+    fn finish(&mut self) -> Result<(), String> {
+        self.out.flush().map_err(|e| format!("jsonl sink: {e}"))
+    }
+}
+
+/// Buffer every row (tests, the bench harness).
+#[derive(Debug, Default)]
+pub struct MemoryMapSink {
+    rows: Vec<MapRow>,
+}
+
+impl MemoryMapSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The buffered rows, in map-point order.
+    pub fn into_rows(self) -> Vec<MapRow> {
+        self.rows
+    }
+}
+
+impl MapSink for MemoryMapSink {
+    fn accept(&mut self, row: &MapRow) -> Result<(), String> {
+        self.rows.push(row.clone());
+        Ok(())
+    }
+}
+
+/// Exact rational midpoint of a bracket. Denominators double per
+/// bisection step, so overflow means the tolerance asked for more
+/// precision than `u64` rationals hold — an error, not a wrap.
+fn midpoint(lo: Rate, hi: Rate) -> Result<Rate, String> {
+    let num = lo.num() as u128 * hi.den() as u128 + hi.num() as u128 * lo.den() as u128;
+    let den = 2u128 * lo.den() as u128 * hi.den() as u128;
+    let g = gcd(num.max(1), den);
+    let (num, den) = (num / g, den / g);
+    match (u64::try_from(num), u64::try_from(den)) {
+        (Ok(num), Ok(den)) => Ok(Rate::new(num, den)),
+        _ => Err(format!(
+            "bisection midpoint of {}/{} and {}/{} overflows (tolerance too fine)",
+            lo.num(),
+            lo.den(),
+            hi.num(),
+            hi.den()
+        )),
+    }
+}
+
+fn width(lo: Rate, hi: Rate) -> f64 {
+    hi.as_f64() - lo.as_f64()
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    ProbeLo,
+    ProbeHi,
+    Bisect,
+    Done(Status),
+}
+
+/// The bisection state of one map point.
+#[derive(Clone, Debug)]
+struct PointSearch {
+    point: MapPoint,
+    /// The template resolved at this point (expressions evaluated); the
+    /// search axis field is overwritten per probe.
+    base: ScenarioSpec,
+    lo: Rate,
+    hi: Rate,
+    phase: Phase,
+    /// The next rate to probe; `None` exactly when the point is done.
+    pending: Option<Rate>,
+    probes: u32,
+}
+
+impl PointSearch {
+    fn new(spec: &FrontierSpec, point: MapPoint) -> Result<Self, String> {
+        let env = ExprEnv::new(point.n, point.k);
+        let at = |e: &str| format!("map point n={}, k={}: {e}", point.n, point.k);
+        let base = spec.template.clone().resolve_at(&env).map_err(|e| at(&e))?;
+        let lo = spec.lo.resolve(&env).map_err(|e| at(&format!("lo: {e}")))?;
+        let hi = spec.hi.resolve(&env).map_err(|e| at(&format!("hi: {e}")))?;
+        if !lo.lt(&hi) {
+            return Err(at(&format!("bracket is empty (lo {} >= hi {})", lo, hi)));
+        }
+        if spec.axis == SearchAxis::Rho && Rate::one().lt(&hi) {
+            return Err(at(&format!("rho bracket must stay within [0, 1], hi is {hi}")));
+        }
+        // Even a bracket already narrower than tol probes both endpoints:
+        // `converged` must always mean "lo observed stable, hi observed
+        // diverging", never an untested assertion.
+        Ok(Self { point, base, lo, hi, phase: Phase::ProbeLo, pending: Some(lo), probes: 0 })
+    }
+
+    fn finish(&mut self, status: Status) {
+        self.phase = Phase::Done(status);
+        self.pending = None;
+    }
+
+    fn done(&self) -> bool {
+        matches!(self.phase, Phase::Done(_))
+    }
+
+    /// The spec for the pending probe, or `None` when done.
+    fn probe_spec(&self, axis: SearchAxis) -> Option<ScenarioSpec> {
+        let rate = self.pending?;
+        let mut spec = self.base.clone();
+        match axis {
+            SearchAxis::Rho => spec.rho = rate,
+            SearchAxis::Beta => spec.beta = rate,
+        }
+        Some(spec)
+    }
+
+    /// Advance the state machine with one probe verdict. Only `Diverging`
+    /// counts as above the boundary.
+    fn apply(&mut self, verdict: Verdict, tol: f64) -> Result<(), String> {
+        let diverged = verdict == Verdict::Diverging;
+        match self.phase {
+            Phase::Done(_) => {
+                return Err(format!(
+                    "map point n={}, k={} received a probe after completing",
+                    self.point.n, self.point.k
+                ))
+            }
+            Phase::ProbeLo => {
+                self.probes += 1;
+                if diverged {
+                    self.finish(Status::AllDiverging);
+                } else {
+                    self.phase = Phase::ProbeHi;
+                    self.pending = Some(self.hi);
+                }
+            }
+            Phase::ProbeHi => {
+                self.probes += 1;
+                if diverged {
+                    self.phase = Phase::Bisect;
+                    self.advance(tol)?;
+                } else {
+                    self.finish(Status::AllStable);
+                }
+            }
+            Phase::Bisect => {
+                self.probes += 1;
+                let mid = self.pending.take().expect("bisect phase always has a pending probe");
+                if diverged {
+                    self.hi = mid;
+                } else {
+                    self.lo = mid;
+                }
+                self.advance(tol)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Converge or schedule the next midpoint probe.
+    fn advance(&mut self, tol: f64) -> Result<(), String> {
+        if width(self.lo, self.hi) <= tol {
+            self.finish(Status::Converged);
+        } else {
+            self.pending = Some(midpoint(self.lo, self.hi)?);
+        }
+        Ok(())
+    }
+
+    fn row(&self, index: usize, axis: SearchAxis) -> MapRow {
+        let Phase::Done(status) = self.phase else {
+            unreachable!("rows are emitted only for completed points");
+        };
+        MapRow {
+            index,
+            point: self.point,
+            axis,
+            lo: self.lo,
+            hi: self.hi,
+            probes: self.probes,
+            status,
+        }
+    }
+}
+
+/// What a frontier run did — the CLI's summary line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrontierSummary {
+    /// Map points in the spec.
+    pub points: usize,
+    /// Points whose rows are in the output (equal to `points` for a
+    /// complete run; fewer after a wave-bounded partial run).
+    pub completed: usize,
+    /// Probes executed **by this run** (excludes probes replayed from a
+    /// checkpoint).
+    pub probes_run: usize,
+    /// Refinement waves executed by this run.
+    pub waves: usize,
+    /// Probes (of `probes_run`) whose execution violated a model
+    /// invariant. Their verdicts still drive the bisection — violations
+    /// don't invalidate a queue-growth observation, and the duty-cycle
+    /// baseline violates by design — but a non-zero count means the mapped
+    /// boundary deserves scrutiny; the CLI exits non-zero on it.
+    pub unclean_probes: usize,
+}
+
+/// The adaptive frontier search engine.
+#[derive(Clone, Debug)]
+pub struct Frontier {
+    threads: usize,
+    max_waves: Option<usize>,
+}
+
+impl Default for Frontier {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Frontier {
+    /// An engine sized to the machine.
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Self { threads, max_waves: None }
+    }
+
+    /// Set the probe worker count (`1` = serial; output bytes do not
+    /// depend on this).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Stop after at most this many refinement waves, leaving the
+    /// checkpoint (when given) positioned for a later resume — the
+    /// bounded-work knob mirroring `emac campaign --limit`.
+    pub fn max_waves(mut self, max_waves: usize) -> Self {
+        self.max_waves = Some(max_waves);
+        self
+    }
+
+    /// Run the search, emitting each finished map point's row to `sink`
+    /// **in map-point order**. With a checkpoint, every probe verdict and
+    /// emitted row is recorded durably (probe lines before rows they
+    /// unlock), so a killed run resumes mid-bisection; the caller must
+    /// have reconciled an appendable output with
+    /// [`FrontierCheckpoint::rows_written`] first (the CLI does).
+    ///
+    /// Each refinement wave batches every unfinished point's next probe
+    /// into one parallel campaign over `factory`; per-point probe
+    /// *sequences* depend only on that point's own verdicts, so the final
+    /// map is byte-identical across thread counts and interruption
+    /// patterns.
+    pub fn run_into<F>(
+        &self,
+        spec: &FrontierSpec,
+        factory: &F,
+        sink: &mut dyn MapSink,
+        mut checkpoint: Option<&mut FrontierCheckpoint>,
+    ) -> Result<FrontierSummary, String>
+    where
+        F: ScenarioFactory + Sync,
+    {
+        let points = spec.points();
+        let mut searches: Vec<PointSearch> =
+            points.iter().map(|&p| PointSearch::new(spec, p)).collect::<Result<_, _>>()?;
+
+        // Replay checkpointed probes: bisection is deterministic in the
+        // verdict sequence, so the brackets land exactly where the killed
+        // run left them.
+        let mut emitted = 0;
+        if let Some(ck) = checkpoint.as_deref_mut() {
+            if ck.points() != searches.len() {
+                return Err(format!(
+                    "checkpoint tracks {} map points, spec has {}",
+                    ck.points(),
+                    searches.len()
+                ));
+            }
+            for &(p, v) in ck.probes() {
+                let search = searches
+                    .get_mut(p)
+                    .ok_or_else(|| format!("checkpoint records out-of-range map point {p}"))?;
+                search.apply(v, spec.tol)?;
+            }
+            emitted = ck.rows_written();
+            if searches.iter().take(emitted).any(|s| !s.done()) {
+                return Err("checkpoint rows outrun its probes; refusing to resume".into());
+            }
+        }
+
+        let mut summary = FrontierSummary {
+            points: searches.len(),
+            completed: emitted,
+            probes_run: 0,
+            waves: 0,
+            unclean_probes: 0,
+        };
+        loop {
+            // Emit rows in map order as soon as every earlier point is out
+            // of the way — resumed and uninterrupted runs write identical
+            // bytes because this cursor never skips ahead.
+            while emitted < searches.len() && searches[emitted].done() {
+                let row = searches[emitted].row(emitted, spec.axis);
+                sink.accept(&row)?;
+                if let Some(ck) = checkpoint.as_deref_mut() {
+                    sink.sync()?;
+                    ck.record_row(emitted)?;
+                }
+                emitted += 1;
+                summary.completed = emitted;
+            }
+
+            let wave: Vec<usize> = (0..searches.len()).filter(|&i| !searches[i].done()).collect();
+            if wave.is_empty() {
+                break;
+            }
+            if let Some(max) = self.max_waves {
+                if summary.waves >= max {
+                    return Ok(summary); // partial: no sink.finish()
+                }
+            }
+
+            let specs: Vec<ScenarioSpec> = wave
+                .iter()
+                .map(|&i| searches[i].probe_spec(spec.axis).expect("wave points are unfinished"))
+                .collect();
+            let mut verdicts: Vec<Option<Verdict>> = vec![None; wave.len()];
+            let mut unclean = 0usize;
+            {
+                let wave = &wave;
+                let verdicts = &mut verdicts;
+                let unclean = &mut unclean;
+                let mut ck = checkpoint.as_deref_mut();
+                let mut wave_sink = FnSink(move |idx: usize, run| {
+                    let report = match run.outcome {
+                        Ok(report) => report,
+                        Err(e) => {
+                            return Err(format!("frontier probe {}: {e}", run.spec.display_label()))
+                        }
+                    };
+                    if !report.clean() {
+                        // Surfaced through the summary (and the CLI exit
+                        // code) rather than dropped — see
+                        // [`FrontierSummary::unclean_probes`].
+                        *unclean += 1;
+                    }
+                    let verdict = report.stability.verdict;
+                    if let Some(ck) = ck.as_deref_mut() {
+                        ck.record_probe(wave[idx], verdict)?;
+                    }
+                    verdicts[idx] = Some(verdict);
+                    Ok(())
+                });
+                Campaign::new().threads(self.threads).detail(MetricsDetail::Slim).run_into(
+                    &specs,
+                    factory,
+                    &mut wave_sink,
+                )?;
+            }
+            for (&i, verdict) in wave.iter().zip(&verdicts) {
+                let verdict = verdict.ok_or("a probe completed without a verdict")?;
+                searches[i].apply(verdict, spec.tol)?;
+                summary.probes_run += 1;
+            }
+            summary.unclean_probes += unclean;
+            summary.waves += 1;
+        }
+        sink.finish()?;
+        Ok(summary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_parses_defaults_and_rejects_junk() {
+        let spec = FrontierSpec::parse(
+            r#"{"template": {"algorithm": "k-cycle", "adversary": "uniform",
+                "n": 9, "k": 3, "rounds": 1000}}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.axis, SearchAxis::Rho);
+        assert_eq!(spec.tol, 0.01);
+        assert_eq!(spec.points(), vec![MapPoint { n: 9, k: 3 }]);
+
+        let err = FrontierSpec::parse("{}").unwrap_err();
+        assert!(err.contains("template"), "{err}");
+        let err = FrontierSpec::parse(
+            r#"{"template": {"algorithm": "a", "adversary": "b"}, "bogus": 1}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("bogus"), "{err}");
+        let err = FrontierSpec::parse(
+            r#"{"template": {"algorithm": "a", "adversary": "b"}, "axis": "seed"}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("rho or beta"), "{err}");
+        let err = FrontierSpec::parse(
+            r#"{"template": {"algorithm": "a", "adversary": "b"}, "map": {"seed": [1]}}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown map axis"), "{err}");
+        let err =
+            FrontierSpec::parse(r#"{"template": {"algorithm": "a", "adversary": "b"}, "tol": 0}"#)
+                .unwrap_err();
+        assert!(err.contains("positive"), "{err}");
+    }
+
+    #[test]
+    fn map_points_expand_n_major() {
+        let spec = FrontierSpec::parse(
+            r#"{"template": {"algorithm": "a", "adversary": "b"},
+                "map": {"n": [9, 13], "k": [3, 4]}}"#,
+        )
+        .unwrap();
+        let pts = spec.points();
+        assert_eq!(
+            pts,
+            vec![
+                MapPoint { n: 9, k: 3 },
+                MapPoint { n: 9, k: 4 },
+                MapPoint { n: 13, k: 3 },
+                MapPoint { n: 13, k: 4 },
+            ]
+        );
+    }
+
+    #[test]
+    fn digest_is_sensitive_to_every_knob() {
+        let base = r#"{"template": {"algorithm": "a", "adversary": "b"}, "tol": 0.01}"#;
+        let d = |text: &str, tag: &str| FrontierSpec::parse(text).unwrap().digest(tag);
+        assert_eq!(d(base, "csv"), d(base, "csv"), "deterministic");
+        assert_ne!(d(base, "csv"), d(base, "jsonl"), "format bound");
+        let edited = base.replace("0.01", "0.02");
+        assert_ne!(d(base, "csv"), d(&edited, "csv"), "tol bound");
+        let edited = base.replace("\"b\"", "\"c\"");
+        assert_ne!(d(base, "csv"), d(&edited, "csv"), "template bound");
+    }
+
+    #[test]
+    fn midpoint_is_exact_and_guards_overflow() {
+        assert_eq!(midpoint(Rate::zero(), Rate::one()).unwrap(), Rate::new(1, 2));
+        assert_eq!(midpoint(Rate::new(1, 5), Rate::new(1, 4)).unwrap(), Rate::new(9, 40));
+        // repeated halving stays exact well past any sane tolerance
+        // (50 halvings ≈ width 2⁻⁵⁰, far below the 1e-9 tol floor)
+        let (mut lo, mut hi) = (Rate::zero(), Rate::one());
+        for _ in 0..25 {
+            hi = midpoint(lo, hi).unwrap();
+            lo = midpoint(lo, hi).unwrap();
+        }
+        assert!(lo.lt(&hi));
+        let err = midpoint(Rate::new(1, u64::MAX), Rate::new(2, u64::MAX - 1)).unwrap_err();
+        assert!(err.contains("overflow"), "{err}");
+    }
+
+    #[test]
+    fn point_search_state_machine_brackets_a_known_boundary() {
+        // Oracle: diverges strictly above 1/5. tol 1/32.
+        let spec = FrontierSpec::parse(
+            r#"{"template": {"algorithm": "a", "adversary": "b", "n": 9, "k": 3,
+                "rounds": 100},
+                "lo": "0", "hi": "1/2", "tol": 0.03125}"#,
+        )
+        .unwrap();
+        let mut s = PointSearch::new(&spec, MapPoint { n: 9, k: 3 }).unwrap();
+        let boundary = Rate::new(1, 5);
+        let mut guard = 0;
+        while let Some(rate) = s.pending {
+            let verdict = if boundary.lt(&rate) { Verdict::Diverging } else { Verdict::Stable };
+            s.apply(verdict, spec.tol).unwrap();
+            guard += 1;
+            assert!(guard < 32, "search must terminate");
+        }
+        let row = s.row(0, SearchAxis::Rho);
+        assert_eq!(row.status, Status::Converged);
+        assert!(width(row.lo, row.hi) <= spec.tol);
+        // the bracket straddles the oracle boundary
+        assert!(!boundary.lt(&row.lo), "lo {} <= boundary", row.lo);
+        assert!(!row.hi.lt(&boundary), "hi {} >= boundary", row.hi);
+        // probe a completed point => error
+        assert!(s.apply(Verdict::Stable, spec.tol).is_err());
+    }
+
+    #[test]
+    fn endpoint_probes_classify_degenerate_brackets() {
+        let spec = FrontierSpec::parse(
+            r#"{"template": {"algorithm": "a", "adversary": "b", "n": 9, "k": 3,
+                "rounds": 100}, "lo": "1/4", "hi": "1/2", "tol": 0.01}"#,
+        )
+        .unwrap();
+        // boundary below lo: first probe diverges
+        let mut s = PointSearch::new(&spec, MapPoint { n: 9, k: 3 }).unwrap();
+        s.apply(Verdict::Diverging, spec.tol).unwrap();
+        assert_eq!(s.row(0, SearchAxis::Rho).status, Status::AllDiverging);
+        assert_eq!(s.row(0, SearchAxis::Rho).probes, 1);
+        // boundary above hi: lo stable, hi stable
+        let mut s = PointSearch::new(&spec, MapPoint { n: 9, k: 3 }).unwrap();
+        s.apply(Verdict::Stable, spec.tol).unwrap();
+        s.apply(Verdict::Inconclusive, spec.tol).unwrap(); // counts as stable
+        assert_eq!(s.row(0, SearchAxis::Rho).status, Status::AllStable);
+    }
+
+    #[test]
+    fn brackets_narrower_than_tol_still_probe_both_endpoints() {
+        // `converged` must mean "lo observed stable AND hi observed
+        // diverging" — never a zero-probe assertion about an untested
+        // bracket.
+        let spec = FrontierSpec::parse(
+            r#"{"template": {"algorithm": "a", "adversary": "b", "n": 9, "k": 3,
+                "rounds": 100}, "lo": "1/4", "hi": "26/100", "tol": 0.5}"#,
+        )
+        .unwrap();
+        let mut s = PointSearch::new(&spec, MapPoint { n: 9, k: 3 }).unwrap();
+        assert!(!s.done(), "narrow bracket must not be pre-converged");
+        s.apply(Verdict::Stable, spec.tol).unwrap();
+        s.apply(Verdict::Diverging, spec.tol).unwrap();
+        let row = s.row(0, SearchAxis::Rho);
+        assert_eq!((row.status, row.probes), (Status::Converged, 2));
+        // ... and the boundary escaping such a bracket is reported honestly
+        let mut s = PointSearch::new(&spec, MapPoint { n: 9, k: 3 }).unwrap();
+        s.apply(Verdict::Stable, spec.tol).unwrap();
+        s.apply(Verdict::Stable, spec.tol).unwrap();
+        assert_eq!(s.row(0, SearchAxis::Rho).status, Status::AllStable);
+    }
+
+    #[test]
+    fn brackets_are_validated_per_point() {
+        let spec = FrontierSpec::parse(
+            r#"{"template": {"algorithm": "a", "adversary": "b"},
+                "lo": "1/2", "hi": "1/2"}"#,
+        )
+        .unwrap();
+        let err = PointSearch::new(&spec, MapPoint { n: 9, k: 3 }).unwrap_err();
+        assert!(err.contains("bracket is empty"), "{err}");
+
+        let spec = FrontierSpec::parse(
+            r#"{"template": {"algorithm": "a", "adversary": "b"},
+                "hi": "2 * oblivious_threshold"}"#,
+        )
+        .unwrap();
+        // n=4, k=3: 2k/n = 3/2 > 1 — rho brackets must stay in [0, 1]
+        let err = PointSearch::new(&spec, MapPoint { n: 4, k: 3 }).unwrap_err();
+        assert!(err.contains("within [0, 1]"), "{err}");
+    }
+
+    #[test]
+    fn csv_row_is_fixed_format() {
+        let row = MapRow {
+            index: 0,
+            point: MapPoint { n: 9, k: 3 },
+            axis: SearchAxis::Rho,
+            lo: Rate::new(3, 16),
+            hi: Rate::new(7, 32),
+            probes: 7,
+            status: Status::Converged,
+        };
+        assert_eq!(csv_row(&row), "9,3,rho,3/16,7/32,0.203125,7,converged");
+        let json = row_json(&row).render();
+        assert!(json.starts_with("{\"index\":0,\"n\":9,"), "{json}");
+        assert!(json.contains("\"status\":\"converged\""), "{json}");
+    }
+}

@@ -43,6 +43,7 @@ pub mod campaign;
 pub mod combinatorics;
 pub mod count_hop;
 pub mod digest;
+pub mod frontier;
 pub mod k_clique;
 pub mod k_cycle;
 pub mod k_subsets;
@@ -59,6 +60,7 @@ pub use campaign::{
 };
 pub use count_hop::CountHop;
 pub use digest::{report_digest, report_digest_hex, Fnv64};
+pub use frontier::{Frontier, FrontierCheckpoint, FrontierSpec};
 pub use k_clique::KClique;
 pub use k_cycle::KCycle;
 pub use k_subsets::{KSubsets, ThreadSubroutine};
@@ -78,6 +80,7 @@ pub mod prelude {
     };
     pub use crate::count_hop::CountHop;
     pub use crate::digest::{report_digest, report_digest_hex};
+    pub use crate::frontier::{Frontier, FrontierCheckpoint, FrontierSpec};
     pub use crate::k_clique::KClique;
     pub use crate::k_cycle::KCycle;
     pub use crate::k_subsets::{KSubsets, ThreadSubroutine};

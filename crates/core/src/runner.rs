@@ -22,6 +22,7 @@ pub struct Runner {
     sample_every: u64,
     cap_override: Option<usize>,
     drain_rounds: Option<u64>,
+    probe_cap: Option<u64>,
 }
 
 impl Runner {
@@ -36,6 +37,7 @@ impl Runner {
             sample_every: 0, // derived from rounds when 0
             cap_override: None,
             drain_rounds: None,
+            probe_cap: None,
         }
     }
 
@@ -70,6 +72,18 @@ impl Runner {
     /// most this many rounds, recording whether it emptied.
     pub fn drain(mut self, max_rounds: u64) -> Self {
         self.drain_rounds = Some(max_rounds);
+        self
+    }
+
+    /// Run as a stability *probe*: stop early once the total queued packets
+    /// exceed `queue_cap` and classify the run as [`Verdict::Diverging`].
+    /// Above-boundary probes then cost a fraction of the full horizon — the
+    /// knob the frontier bisection leans on. Stable runs are unaffected
+    /// (the cap must sit far above the scenario's steady-state queue).
+    ///
+    /// [`Verdict::Diverging`]: crate::stability::Verdict::Diverging
+    pub fn probe_cap(mut self, queue_cap: u64) -> Self {
+        self.probe_cap = Some(queue_cap);
         self
     }
 
@@ -113,9 +127,21 @@ impl Runner {
         };
         let name = built.name.clone();
         let mut sim = Simulator::new(cfg, built, adversary);
-        sim.run(self.rounds);
+        let tripped = match self.probe_cap {
+            Some(queue_cap) => sim.run_probe(self.rounds, queue_cap),
+            None => {
+                sim.run(self.rounds);
+                false
+            }
+        };
         let drained = self.drain_rounds.map(|max| sim.run_until_drained(max));
         let metrics = sim.metrics().clone();
+        let mut stability = classify(&metrics);
+        if tripped {
+            // The probe cap is evidence of divergence in itself; a tripped
+            // run may have too few samples for the slope classifier.
+            stability.verdict = crate::stability::Verdict::Diverging;
+        }
         Ok(RunReport {
             algorithm: name,
             n: self.n,
@@ -123,7 +149,7 @@ impl Runner {
             rho: self.rho,
             beta: self.beta,
             rounds: self.rounds,
-            stability: classify(&metrics),
+            stability,
             metrics,
             violations: sim.violations().clone(),
             drained,

@@ -437,6 +437,26 @@ impl Simulator {
         self.injections_on = on;
     }
 
+    /// Run up to `rounds` rounds, stopping early once the total queued
+    /// packets exceed `queue_cap`. Returns whether the cap tripped — the
+    /// verdict-probe API for stability-boundary searches: an execution
+    /// above its stability boundary grows linearly and trips the cap in a
+    /// fraction of the full horizon, so a bisection probe pays the full
+    /// `rounds` cost only on the stable side. The early exit is a pure
+    /// function of the execution (checked after every round), so probe
+    /// outcomes are as deterministic as [`Simulator::run`].
+    pub fn run_probe(&mut self, rounds: u64, queue_cap: u64) -> bool {
+        let samples = rounds / self.cfg.sample_every + 2;
+        self.metrics.queue_series.reserve(samples as usize);
+        for _ in 0..rounds {
+            self.step();
+            if self.metrics.total_queued > queue_cap {
+                return true;
+            }
+        }
+        false
+    }
+
     /// Disable injections and run until every queue is empty or `max_rounds`
     /// more rounds have elapsed. Returns whether the system drained.
     pub fn run_until_drained(&mut self, max_rounds: u64) -> bool {
@@ -568,6 +588,35 @@ mod tests {
         sim.run(4);
         assert_eq!(sim.metrics().self_delivered, 1);
         assert_eq!(sim.metrics().injected, 0);
+    }
+
+    /// Concentrates the whole budget into station 0 (destination 1).
+    struct FloodZero;
+    impl Adversary for FloodZero {
+        fn plan(&mut self, _r: Round, budget: usize, _v: &SystemView<'_>) -> Vec<Injection> {
+            (0..budget).map(|_| Injection::new(0, 1)).collect()
+        }
+    }
+
+    #[test]
+    fn run_probe_trips_on_divergence_and_completes_when_stable() {
+        // rho = 1 into one station served once every 4 rounds: the queue
+        // grows at 3/4 packet per round and trips a cap of 30 long before
+        // the 10 000-round horizon.
+        let cfg = SimConfig::new(4, 4).adversary_type(Rate::one(), Rate::integer(1));
+        let mut sim = Simulator::new(cfg, rr_system(4), Box::new(FloodZero));
+        assert!(sim.run_probe(10_000, 30), "diverging probe must trip");
+        let tripped_at = sim.round();
+        assert!(tripped_at < 1_000, "tripped at round {tripped_at}, expected early");
+        assert!(sim.total_queued() > 30);
+
+        // The same execution with an unreachable cap runs the full horizon
+        // and reports no trip.
+        let cfg = SimConfig::new(4, 4).adversary_type(Rate::new(1, 8), Rate::integer(1));
+        let adv = Box::new(OneShot { station: 1, dest: 3, fired: false });
+        let mut sim = Simulator::new(cfg, rr_system(4), adv);
+        assert!(!sim.run_probe(64, 1_000), "stable probe must not trip");
+        assert_eq!(sim.round(), 64);
     }
 
     #[test]

@@ -6,6 +6,9 @@
 //! emac campaign spec.json [--threads N] [--out DIR]
 //!               [--format csv|jsonl] [--detail full|slim] [--resume] [--limit M]
 //! emac campaign --example
+//! emac frontier template.json [--axis rho|beta] [--tol T] [--threads N]
+//!               [--out DIR] [--format csv|jsonl] [--resume] [--max-waves M]
+//! emac frontier --example
 //! emac list
 //! ```
 //!
@@ -17,8 +20,10 @@
 //! fsync'd `campaign.ckpt` next to the output, and `--resume` continues a
 //! killed (or `--limit`-bounded) campaign where it stopped. Both modes
 //! exit non-zero if any run violates a model invariant (useful in CI).
-//! All parsing and construction logic lives in [`emac::cli`] and
-//! [`emac::registry`].
+//! `frontier` bisects a stability boundary across a map of `(n, k)`
+//! points (see `emac_core::frontier`) with the same checkpoint/resume
+//! discipline. All parsing and construction logic lives in [`emac::cli`]
+//! and [`emac::registry`].
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -28,6 +33,9 @@ use emac::core::campaign::{
     parse_campaign_spec, spec_list_digest, truncate_after_lines, Campaign, Checkpoint,
     CsvStreamSink, DurableFile, JsonLinesSink, ResultSink, ScenarioSpec, TallySink,
 };
+use emac::core::frontier::{
+    CsvMapSink, Frontier, FrontierCheckpoint, FrontierSpec, JsonMapSink, MapSink, SearchAxis,
+};
 use emac::core::prelude::*;
 use emac::registry::{Registry, ADVERSARIES, ALGORITHMS};
 
@@ -36,6 +44,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("run") => run(&args[1..]),
         Some("campaign") => campaign(&args[1..]),
+        Some("frontier") => frontier(&args[1..]),
         Some("list") => {
             list();
             ExitCode::SUCCESS
@@ -55,6 +64,9 @@ fn usage() {
          emac campaign <spec.json> [--threads N] [--out DIR]\n           \
          [--format csv|jsonl] [--detail full|slim] [--resume] [--limit M]\n  \
          emac campaign --example   # print a commented example spec\n  \
+         emac frontier <template.json> [--axis rho|beta] [--tol T] [--threads N]\n           \
+         [--out DIR] [--format csv|jsonl] [--resume] [--max-waves M]\n  \
+         emac frontier --example   # print an example template\n  \
          emac list"
     );
 }
@@ -310,6 +322,183 @@ fn run_tallied<S: ResultSink>(
 ) -> (Result<(), String>, usize, usize, usize) {
     let outcome = executor.run_subset(specs, todo, &Registry, &mut sink, Some(ckpt));
     (outcome, sink.ok(), sink.unclean(), sink.failed())
+}
+
+const EXAMPLE_FRONTIER: &str = r#"{
+  "template": {"algorithm": "k-cycle", "adversary": "spread-from-one",
+               "target": 1, "beta": "1", "rounds": 150000, "probe_cap": 5000},
+  "axis": "rho",
+  "lo": "0.5 * group_share",
+  "hi": "1.25 * k_cycle_threshold",
+  "tol": 0.01,
+  "map": {"n": [9, 13], "k": [3]}
+}"#;
+
+/// `emac frontier`: adaptive stability-boundary mapping with
+/// checkpoint/resume (see `emac_core::frontier`).
+fn frontier(args: &[String]) -> ExitCode {
+    let opts = match cli::parse_frontier(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            return ExitCode::from(2);
+        }
+    };
+    if opts.example {
+        println!("{EXAMPLE_FRONTIER}");
+        return ExitCode::SUCCESS;
+    }
+    let text = match std::fs::read_to_string(&opts.spec_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", opts.spec_path);
+            return ExitCode::from(2);
+        }
+    };
+    let mut spec = match FrontierSpec::parse(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {}: {e}", opts.spec_path);
+            return ExitCode::from(2);
+        }
+    };
+    // CLI overrides apply before the digest, so a resume must repeat them.
+    if let Some(axis) = &opts.axis {
+        spec.axis = match SearchAxis::parse(axis) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("error: --axis: {e}");
+                return ExitCode::from(2);
+            }
+        };
+    }
+    if let Some(tol) = opts.tol {
+        spec.tol = tol;
+    }
+    if let Err(e) = spec.validate() {
+        eprintln!("error: {e}");
+        return ExitCode::from(2);
+    }
+
+    let dir = Path::new(&opts.out_dir);
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("error: creating {}: {e}", opts.out_dir);
+        return ExitCode::FAILURE;
+    }
+    let out_path = dir.join(opts.format.file_name());
+    let ckpt_path = dir.join("frontier.ckpt");
+    let digest = spec.digest(opts.format.file_name());
+    let points = spec.points().len();
+    let ckpt = if opts.resume {
+        FrontierCheckpoint::resume(&ckpt_path, digest, points)
+    } else {
+        FrontierCheckpoint::fresh(&ckpt_path, digest, points)
+    };
+    let mut ckpt = match ckpt {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let already = ckpt.rows_written();
+
+    // Reconcile the output with the checkpoint: keep exactly the rows it
+    // claims durable (plus the CSV header); anything after re-emits.
+    if already > 0 {
+        let header_lines = u64::from(opts.format == cli::FrontierFormat::Csv);
+        match truncate_after_lines(&out_path, already as u64 + header_lines) {
+            Ok(Some(0)) => {}
+            Ok(Some(dropped)) => {
+                eprintln!("note: dropped {dropped} bytes of unrecorded output from a previous run")
+            }
+            Ok(None) => {
+                eprintln!(
+                    "error: {} holds fewer rows than frontier.ckpt records ({already}); \
+                     refusing to resume against a modified output",
+                    out_path.display()
+                );
+                return ExitCode::from(2);
+            }
+            Err(e) => {
+                eprintln!(
+                    "error: cannot reconcile {} with its checkpoint: {e}",
+                    out_path.display()
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let file = if already > 0 {
+        std::fs::OpenOptions::new().append(true).open(&out_path)
+    } else {
+        std::fs::File::create(&out_path)
+    };
+    let file = match file {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: opening {}: {e}", out_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let writer = DurableFile::new(file);
+
+    let mut engine = Frontier::new();
+    if let Some(t) = opts.threads {
+        engine = engine.threads(t);
+    }
+    if let Some(m) = opts.max_waves {
+        engine = engine.max_waves(m);
+    }
+    eprintln!(
+        "mapping {points} point(s) along {} to tol {} ({already} already complete)...",
+        spec.axis.name(),
+        spec.tol
+    );
+    let outcome = match opts.format {
+        cli::FrontierFormat::Csv => {
+            let mut sink =
+                if already > 0 { CsvMapSink::appending(writer) } else { CsvMapSink::new(writer) };
+            engine.run_into(&spec, &Registry, &mut sink as &mut dyn MapSink, Some(&mut ckpt))
+        }
+        cli::FrontierFormat::JsonLines => {
+            let mut sink = JsonMapSink::new(writer);
+            engine.run_into(&spec, &Registry, &mut sink as &mut dyn MapSink, Some(&mut ckpt))
+        }
+    };
+    let summary = match outcome {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "{} map point(s) checkpointed; rerun with --resume to continue",
+                ckpt.rows_written()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{} of {} map point(s) complete in {} ({} probe(s) over {} wave(s) this run)",
+        summary.completed,
+        summary.points,
+        out_path.display(),
+        summary.probes_run,
+        summary.waves
+    );
+    if summary.completed < summary.points {
+        println!("rerun with --resume to continue");
+    }
+    if summary.unclean_probes > 0 {
+        eprintln!(
+            "warning: {} probe(s) violated a model invariant — the mapped boundary \
+             is suspect unless the algorithm violates by design (duty-cycle)",
+            summary.unclean_probes
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }
 
 fn run(args: &[String]) -> ExitCode {

@@ -117,6 +117,107 @@ pub fn parse_campaign(args: &[String]) -> Result<CampaignOpts, String> {
     Ok(o)
 }
 
+/// Streaming output format for `emac frontier --format`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrontierFormat {
+    /// One CSV row per map point (`frontier.csv`).
+    Csv,
+    /// One JSON object per line (`frontier.jsonl`).
+    JsonLines,
+}
+
+impl FrontierFormat {
+    /// The output file name inside `--out`.
+    pub fn file_name(self) -> &'static str {
+        match self {
+            FrontierFormat::Csv => "frontier.csv",
+            FrontierFormat::JsonLines => "frontier.jsonl",
+        }
+    }
+}
+
+/// Parsed command-line options for `emac frontier`.
+#[derive(Clone, Debug)]
+pub struct FrontierOpts {
+    /// Print the example template and exit (`--example`).
+    pub example: bool,
+    /// Path to the JSON frontier template.
+    pub spec_path: String,
+    /// Search-axis override (`--axis rho|beta`); `None` keeps the
+    /// template's axis.
+    pub axis: Option<String>,
+    /// Tolerance override (`--tol`); `None` keeps the template's.
+    pub tol: Option<f64>,
+    /// Worker count override.
+    pub threads: Option<usize>,
+    /// Output directory (default `results/frontier`).
+    pub out_dir: String,
+    /// Output format (default CSV).
+    pub format: FrontierFormat,
+    /// Resume from `frontier.ckpt` instead of starting fresh.
+    pub resume: bool,
+    /// Run at most this many refinement waves, then stop with the
+    /// checkpoint intact — bounded work chunks for wide maps.
+    pub max_waves: Option<usize>,
+}
+
+/// Parse `emac frontier` flags.
+pub fn parse_frontier(args: &[String]) -> Result<FrontierOpts, String> {
+    let mut o = FrontierOpts {
+        example: false,
+        spec_path: String::new(),
+        axis: None,
+        tol: None,
+        threads: None,
+        out_dir: "results/frontier".into(),
+        format: FrontierFormat::Csv,
+        resume: false,
+        max_waves: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value =
+            || it.next().map(String::as_str).ok_or_else(|| format!("{arg} needs a value"));
+        match arg.as_str() {
+            "--example" => o.example = true,
+            "--axis" => o.axis = Some(value()?.to_string()),
+            "--tol" => o.tol = Some(value()?.parse().map_err(|e| format!("--tol: {e}"))?),
+            "--threads" => {
+                o.threads = Some(value()?.parse().map_err(|e| format!("--threads: {e}"))?)
+            }
+            "--out" => o.out_dir = value()?.to_string(),
+            "--format" => {
+                o.format = match value()? {
+                    "csv" => FrontierFormat::Csv,
+                    "jsonl" => FrontierFormat::JsonLines,
+                    other => return Err(format!("--format must be csv or jsonl, got {other:?}")),
+                }
+            }
+            "--resume" => o.resume = true,
+            "--max-waves" => {
+                o.max_waves = Some(value()?.parse().map_err(|e| format!("--max-waves: {e}"))?)
+            }
+            path if o.spec_path.is_empty() && !path.starts_with("--") => {
+                o.spec_path = path.to_string()
+            }
+            other => return Err(format!("unexpected argument {other}")),
+        }
+    }
+    if o.example {
+        return Ok(o);
+    }
+    if o.spec_path.is_empty() {
+        return Err("frontier needs a template file (try `emac frontier --example`)".into());
+    }
+    if o.max_waves == Some(0) {
+        return Err("--max-waves must be positive".into());
+    }
+    if o.threads == Some(0) {
+        return Err("--threads must be positive".into());
+    }
+    Ok(o)
+}
+
 /// Parsed command-line options for `emac run`.
 #[derive(Clone, Debug)]
 pub struct Opts {
@@ -352,6 +453,40 @@ mod tests {
         assert!(parse_campaign(&argv("spec.json --threads 0")).unwrap_err().contains("positive"));
         assert!(parse_campaign(&argv("spec.json --bogus")).is_err());
         assert!(parse_campaign(&argv("a.json b.json")).is_err(), "two positionals");
+    }
+
+    #[test]
+    fn parses_frontier_flags() {
+        let o = parse_frontier(&argv(
+            "map.json --axis rho --tol 0.001 --threads 4 --out results/f \
+             --format jsonl --resume --max-waves 3",
+        ))
+        .unwrap();
+        assert_eq!(o.spec_path, "map.json");
+        assert_eq!(o.axis.as_deref(), Some("rho"));
+        assert_eq!(o.tol, Some(0.001));
+        assert_eq!(o.threads, Some(4));
+        assert_eq!(o.out_dir, "results/f");
+        assert_eq!(o.format, FrontierFormat::JsonLines);
+        assert!(o.resume);
+        assert_eq!(o.max_waves, Some(3));
+        assert_eq!(FrontierFormat::Csv.file_name(), "frontier.csv");
+        assert_eq!(FrontierFormat::JsonLines.file_name(), "frontier.jsonl");
+
+        let o = parse_frontier(&argv("map.json")).unwrap();
+        assert_eq!(o.format, FrontierFormat::Csv);
+        assert!(o.axis.is_none() && o.tol.is_none() && !o.resume);
+        assert!(parse_frontier(&argv("--example")).unwrap().example);
+    }
+
+    #[test]
+    fn frontier_flag_validation() {
+        assert!(parse_frontier(&argv("")).unwrap_err().contains("template"));
+        assert!(parse_frontier(&argv("map.json --format xml")).unwrap_err().contains("csv"));
+        assert!(parse_frontier(&argv("map.json --tol x")).is_err());
+        assert!(parse_frontier(&argv("map.json --max-waves 0")).unwrap_err().contains("positive"));
+        assert!(parse_frontier(&argv("map.json --threads 0")).unwrap_err().contains("positive"));
+        assert!(parse_frontier(&argv("a.json b.json")).is_err(), "two positionals");
     }
 
     #[test]

@@ -252,6 +252,47 @@ fn report_scalars(r: &emac_core::RunReport) -> (u64, u64, u64, u128, u64, u64, u
     )
 }
 
+/// Pinned digest of a frontier-map CSV export: an FNV-1a fold of the exact
+/// bytes a [`CsvMapSink`] writes for a small k-Cycle concentrated-flood
+/// map. The campaign digest above catches executor/export refactors; this
+/// one catches **search-order** refactors in the frontier engine — wave
+/// batching, bisection state, row emission, float formatting — which must
+/// all stay byte-for-byte, at any thread count.
+const FRONTIER_CSV_GOLDEN: &str = "8d94529b6fcee3c3";
+
+const FRONTIER_GOLDEN_MAP: &str = r#"{
+  "template": {"algorithm": "k-cycle", "adversary": "spread-from-one",
+               "target": 1, "beta": "1", "rounds": 30000, "probe_cap": 2000},
+  "axis": "rho",
+  "lo": "0.5 * group_share",
+  "hi": "1.25 * k_cycle_threshold",
+  "tol": 0.03125,
+  "map": {"n": [9, 13], "k": [3]}
+}"#;
+
+#[test]
+fn frontier_csv_digest_matches_golden_at_any_thread_count() {
+    use emac_core::frontier::{CsvMapSink, Frontier, FrontierSpec};
+
+    let spec = FrontierSpec::parse(FRONTIER_GOLDEN_MAP).unwrap();
+    let run = |threads: usize| -> String {
+        let mut sink = CsvMapSink::new(Vec::new());
+        Frontier::new().threads(threads).run_into(&spec, &Registry, &mut sink, None).unwrap();
+        String::from_utf8(sink.into_inner()).unwrap()
+    };
+    let serial = run(1);
+    assert_eq!(serial, run(4), "frontier map must not depend on the thread count");
+    let actual = format!("{:016x}", Fnv64::new().bytes(serial.as_bytes()).finish());
+    if actual != FRONTIER_CSV_GOLDEN {
+        println!("--- frontier CSV (re-pin the digest below after justifying the change) ---");
+        print!("{serial}");
+        panic!(
+            "frontier CSV digest diverged: expected {FRONTIER_CSV_GOLDEN}, got {actual}; \
+             full CSV printed above"
+        );
+    }
+}
+
 #[test]
 fn digests_are_stable_across_repeated_runs_and_thread_counts() {
     // A slice of the matrix, run serially and in parallel: identical digests.
