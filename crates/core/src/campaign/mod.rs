@@ -1039,6 +1039,53 @@ fn execute_one<F: ScenarioFactory>(spec: &ScenarioSpec, factory: &F) -> Scenario
     ScenarioRun { spec: spec.clone(), outcome }
 }
 
+/// Run `spec` under every seed in `seeds` as one lockstep batch — the
+/// multi-seed sibling of [`execute_one`], built from the same `Runner`
+/// setup so lane `i` is digest-identical to `execute_one` with
+/// `spec.seed = seeds[i]`. `spec.seed` itself is ignored. Used by the
+/// frontier's seed-ensemble probes; panics inside the simulation are
+/// captured as errors like the solo executor does.
+pub fn execute_batch<F: ScenarioFactory>(
+    spec: &ScenarioSpec,
+    seeds: &[u64],
+    factory: &F,
+) -> Result<Vec<RunReport>, String> {
+    std::panic::catch_unwind(AssertUnwindSafe(|| -> Result<Vec<RunReport>, String> {
+        spec.validate()?;
+        let mut runner = Runner::new(spec.n).rate(spec.rho).beta(spec.beta).rounds(spec.rounds);
+        if let Some(drain) = spec.drain {
+            runner = runner.drain(drain);
+        }
+        if let Some(cap) = spec.cap {
+            runner = runner.cap(cap);
+        }
+        if let Some(probe_cap) = spec.probe_cap {
+            runner = runner.probe_cap(probe_cap);
+        }
+        runner.try_run_batch(
+            seeds,
+            |seed| {
+                let mut lane = spec.clone();
+                lane.seed = seed;
+                factory.algorithm(&lane)
+            },
+            |seed, schedule| {
+                let mut lane = spec.clone();
+                lane.seed = seed;
+                factory.adversary(&lane, schedule)
+            },
+        )
+    }))
+    .unwrap_or_else(|panic| {
+        let msg = panic
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| panic.downcast_ref::<&str>().copied())
+            .unwrap_or("opaque panic");
+        Err(format!("scenario panicked: {msg}"))
+    })
+}
+
 /// All outcomes of one campaign, in spec order.
 #[derive(Clone, Debug)]
 pub struct CampaignResult {

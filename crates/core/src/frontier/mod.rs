@@ -148,6 +148,14 @@ pub struct FrontierSpec {
     pub ns: Vec<usize>,
     /// Map axis: cap parameters.
     pub ks: Vec<usize>,
+    /// Probe seed ensemble. Empty (the default) probes with the template's
+    /// own seed; one seed overrides it; more than one runs every probe as
+    /// a lockstep seed batch ([`Runner::try_run_batch`]) and takes the
+    /// strict-majority verdict across lanes, so a boundary stops being one
+    /// RNG stream's opinion.
+    ///
+    /// [`Runner::try_run_batch`]: crate::runner::Runner::try_run_batch
+    pub seeds: Vec<u64>,
 }
 
 impl FrontierSpec {
@@ -168,6 +176,7 @@ impl FrontierSpec {
         let mut tol = 0.01f64;
         let mut ns = None;
         let mut ks = None;
+        let mut seeds = Vec::new();
         for (key, value) in members {
             match key.as_str() {
                 "template" => template = Some(RawScenario::parse(value)?),
@@ -194,6 +203,16 @@ impl FrontierSpec {
                         }
                     }
                 }
+                "seeds" => {
+                    let items = match value {
+                        Json::Arr(items) => items.as_slice(),
+                        scalar => std::slice::from_ref(scalar),
+                    };
+                    seeds = items
+                        .iter()
+                        .map(|j| j.as_u64().ok_or("\"seeds\" must hold unsigned integers"))
+                        .collect::<Result<_, _>>()?;
+                }
                 other => return Err(format!("unknown frontier key {other:?}")),
             }
         }
@@ -206,6 +225,7 @@ impl FrontierSpec {
             lo,
             hi,
             tol,
+            seeds,
         };
         spec.validate()?;
         Ok(spec)
@@ -256,7 +276,7 @@ impl FrontierSpec {
             };
         override_rate(&mut template, "rho", &self.template.rho);
         override_rate(&mut template, "beta", &self.template.beta);
-        Json::Obj(vec![
+        let mut members = vec![
             ("template".into(), Json::Obj(template)),
             ("axis".into(), Json::Str(self.axis.name().into())),
             ("lo".into(), Json::Str(self.lo.text())),
@@ -269,7 +289,16 @@ impl FrontierSpec {
                     ("k".into(), Json::Arr(self.ks.iter().map(|&k| Json::Int(k as i64)).collect())),
                 ]),
             ),
-        ])
+        ];
+        // Only rendered when present, so single-seed specs keep the digest
+        // (and thus the checkpoints) they had before seed ensembles existed.
+        if !self.seeds.is_empty() {
+            members.push((
+                "seeds".into(),
+                Json::Arr(self.seeds.iter().map(|&s| Json::Int(s as i64)).collect()),
+            ));
+        }
+        Json::Obj(members)
     }
 
     /// FNV-1a digest binding this spec *and* the output format, for
@@ -784,13 +813,47 @@ impl Frontier {
                 }
             }
 
-            let specs: Vec<ScenarioSpec> = wave
+            let mut specs: Vec<ScenarioSpec> = wave
                 .iter()
                 .map(|&i| searches[i].probe_spec(spec.axis).expect("wave points are unfinished"))
                 .collect();
+            if let [seed] = spec.seeds[..] {
+                // A one-seed ensemble is the ordinary path with the
+                // template's seed swapped out.
+                for s in &mut specs {
+                    s.seed = seed;
+                }
+            }
             let mut verdicts: Vec<Option<Verdict>> = vec![None; wave.len()];
             let mut unclean = 0usize;
-            {
+            if spec.seeds.len() > 1 {
+                // Seed-ensemble probes: each wave point runs all seeds as
+                // one lockstep batch (lane i exact vs a solo probe with
+                // seed i) and counts as above the boundary when a strict
+                // majority of lanes diverge. One checkpoint line per
+                // probe, exactly like the solo path, so checkpoints stay
+                // format-compatible.
+                for (idx, probe) in specs.iter().enumerate() {
+                    let reports = crate::campaign::execute_batch(probe, &spec.seeds, factory)
+                        .map_err(|e| format!("frontier probe {}: {e}", probe.display_label()))?;
+                    if reports.iter().any(|r| !r.clean()) {
+                        unclean += 1;
+                    }
+                    let diverging = reports
+                        .iter()
+                        .filter(|r| r.stability.verdict == Verdict::Diverging)
+                        .count();
+                    let verdict = if diverging * 2 > reports.len() {
+                        Verdict::Diverging
+                    } else {
+                        Verdict::Stable
+                    };
+                    if let Some(ck) = checkpoint.as_deref_mut() {
+                        ck.record_probe(wave[idx], verdict)?;
+                    }
+                    verdicts[idx] = Some(verdict);
+                }
+            } else {
                 let wave = &wave;
                 let verdicts = &mut verdicts;
                 let unclean = &mut unclean;

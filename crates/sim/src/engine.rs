@@ -48,6 +48,27 @@ struct HeardInfo {
     adopted_by: Option<StationId>,
 }
 
+/// One round of externally owned wake state, shared by every lane of a
+/// lockstep batch (see [`crate::batch`]). The wake set of a precomputed
+/// schedule is a pure function of the round, so S lanes of one scenario
+/// can read a single expansion instead of each filling their own:
+/// `awake`/`awake_mask` describe the round being executed, while
+/// `prev_awake`/`on_counts`/`last_on` must still describe the *previous*
+/// round — exactly what the adversary's [`SystemView`] saw in a solo run.
+/// The batch driver updates them only after every lane has stepped.
+pub(crate) struct SharedRound<'a> {
+    /// Wake mask of the round being executed.
+    pub(crate) awake_mask: &'a BitSet,
+    /// On-set of the round being executed, in enumeration order.
+    pub(crate) awake: &'a [StationId],
+    /// Wake mask of the previous round.
+    pub(crate) prev_awake: &'a BitSet,
+    /// Per-station switched-on counts over all previous rounds.
+    pub(crate) on_counts: &'a [u64],
+    /// Most recent switched-on round per station, over all previous rounds.
+    pub(crate) last_on: &'a [Option<Round>],
+}
+
 /// A complete simulated system: channel, stations, algorithm, adversary.
 pub struct Simulator {
     cfg: SimConfig,
@@ -165,33 +186,49 @@ impl Simulator {
 
     /// Run `rounds` rounds.
     pub fn run(&mut self, rounds: u64) {
-        // Pre-size the queue series so sampling never reallocates mid-run.
-        let samples = rounds / self.cfg.sample_every + 2;
-        self.metrics.queue_series.reserve(samples as usize);
+        self.reserve_series(rounds);
         for _ in 0..rounds {
             self.step();
         }
     }
 
+    /// Pre-size the queue series so sampling never reallocates mid-run.
+    pub(crate) fn reserve_series(&mut self, rounds: u64) {
+        let samples = rounds / self.cfg.sample_every + 2;
+        self.metrics.queue_series.reserve(samples as usize);
+    }
+
     /// Execute a single round.
     pub fn step(&mut self) {
+        self.step_inner(None);
+    }
+
+    /// Execute a single round as one lane of a lockstep batch: the wake
+    /// set (and the adversary's view of previous rounds) comes from
+    /// `shared` instead of being recomputed here, and this lane leaves its
+    /// own wake bookkeeping untouched — the batch driver maintains it once
+    /// for all lanes.
+    pub(crate) fn step_shared(&mut self, shared: &SharedRound<'_>) {
+        self.step_inner(Some(shared));
+    }
+
+    fn step_inner(&mut self, shared: Option<&SharedRound<'_>>) {
         let r = self.round;
         let n = self.cfg.n;
 
         // 1. Adversarial injection (planned into a reused scratch buffer,
         // so injecting rounds stay allocation-free in steady state).
+        // `queue_sizes` is maintained incrementally at every push/removal,
+        // so the view costs no per-round rebuild.
         if self.injections_on {
             let budget = self.bucket.refill();
-            for (size, queue) in self.queue_sizes.iter_mut().zip(&self.queues) {
-                *size = queue.len();
-            }
             let view = SystemView {
                 round: r,
                 n,
                 queue_sizes: &self.queue_sizes,
-                prev_awake: &self.prev_awake,
-                on_counts: &self.on_counts,
-                last_on: &self.last_on,
+                prev_awake: shared.map_or(&self.prev_awake, |sh| sh.prev_awake),
+                on_counts: shared.map_or(&self.on_counts[..], |sh| sh.on_counts),
+                last_on: shared.map_or(&self.last_on[..], |sh| sh.last_on),
             };
             let mut plan = std::mem::take(&mut self.plan);
             self.adversary.plan_into(r, budget, &view, &mut plan);
@@ -209,36 +246,49 @@ impl Simulator {
         // 2. Wake-set determination, into the reusable scratch buffer. For
         // cached periodic schedules this is a packed row copy; otherwise
         // the schedule (or the stations' timers) enumerates, and the mask
-        // is rebuilt bit by bit.
-        match (&self.cache, &self.wake) {
-            (Some(table), _) => table.fill(r, &mut self.awake_mask, &mut self.awake),
-            (None, WakeMode::Scheduled(s)) => {
-                s.on_set_into(n, r, &mut self.awake);
-                self.awake_mask.clear();
-                for i in 0..self.awake.len() {
-                    self.awake_mask.insert(self.awake[i]);
-                }
-            }
-            (None, WakeMode::Adaptive) => {
-                self.awake.clear();
-                self.awake_mask.clear();
-                for s in 0..n {
-                    if let Power::OffUntil(w) = self.power[s] {
-                        if w <= r {
-                            self.power[s] = Power::On;
-                        }
+        // is rebuilt bit by bit. A batch lane skips all of it: the driver
+        // expanded this round's row once for every lane. The scratch is
+        // moved out for the duration of the round so the on-set can be
+        // borrowed from either place while `&mut self` methods run.
+        let mut local_awake = std::mem::take(&mut self.awake);
+        let mut local_mask = std::mem::replace(&mut self.awake_mask, BitSet::new(0));
+        if shared.is_none() {
+            match (&self.cache, &self.wake) {
+                (Some(table), _) => table.fill(r, &mut local_mask, &mut local_awake),
+                (None, WakeMode::Scheduled(s)) => {
+                    s.on_set_into(n, r, &mut local_awake);
+                    local_mask.clear();
+                    for &s in &local_awake {
+                        local_mask.insert(s);
                     }
-                    if self.power[s] == Power::On {
-                        self.awake.push(s);
-                        self.awake_mask.insert(s);
+                }
+                (None, WakeMode::Adaptive) => {
+                    local_awake.clear();
+                    local_mask.clear();
+                    for s in 0..n {
+                        if let Power::OffUntil(w) = self.power[s] {
+                            if w <= r {
+                                self.power[s] = Power::On;
+                            }
+                        }
+                        if self.power[s] == Power::On {
+                            local_awake.push(s);
+                            local_mask.insert(s);
+                        }
                     }
                 }
             }
         }
-        let awake_count = self.awake.len();
-        for &s in &self.awake {
-            self.on_counts[s] += 1;
-            self.last_on[s] = Some(r);
+        let (awake, awake_mask): (&[StationId], &BitSet) = match shared {
+            Some(sh) => (sh.awake, sh.awake_mask),
+            None => (&local_awake, &local_mask),
+        };
+        let awake_count = awake.len();
+        if shared.is_none() {
+            for &s in awake {
+                self.on_counts[s] += 1;
+                self.last_on[s] = Some(r);
+            }
         }
         if awake_count > self.cfg.cap {
             self.violations.cap_exceeded += 1;
@@ -248,8 +298,7 @@ impl Simulator {
 
         // 3. Actions.
         self.transmissions.clear();
-        for i in 0..awake_count {
-            let s = self.awake[i];
+        for &s in awake {
             let ctx = ProtocolCtx { id: s, n, cap: self.cfg.cap, round: r };
             match self.protocols[s].act(&ctx, &self.queues[s]) {
                 Action::Transmit(m) => self.transmissions.push((s, m)),
@@ -288,8 +337,9 @@ impl Simulator {
                 if let Some(p) = msg.packet {
                     self.metrics.packet_rounds += 1;
                     self.queues[sender].remove(p.id).expect("custody verified above");
+                    self.queue_sizes[sender] -= 1;
                     self.metrics.total_queued -= 1;
-                    let delivered = self.awake_mask.contains(p.dest);
+                    let delivered = awake_mask.contains(p.dest);
                     if delivered {
                         self.metrics.delivered += 1;
                         self.metrics.delivered_per_dest[p.dest] += 1;
@@ -316,8 +366,7 @@ impl Simulator {
             (Some(m), false) => Feedback::Heard(m),
             (None, false) => Feedback::Silence,
         };
-        for i in 0..awake_count {
-            let s = self.awake[i];
+        for &s in awake {
             let ctx = ProtocolCtx { id: s, n, cap: self.cfg.cap, round: r };
             let mut effects = Effects::default();
             let wake = self.protocols[s].on_feedback(&ctx, &self.queues[s], fb, &mut effects);
@@ -366,7 +415,7 @@ impl Simulator {
             };
             let injections = std::mem::take(&mut self.traced_injections);
             if let Some(trace) = self.trace.as_mut() {
-                trace.push(RoundTrace { round: r, awake: self.awake.clone(), injections, event });
+                trace.push(RoundTrace { round: r, awake: awake.to_vec(), injections, event });
             }
         }
 
@@ -380,7 +429,11 @@ impl Simulator {
                 .push(QueueSample { round: r, total_queued: self.metrics.total_queued });
             self.next_sample = r.saturating_add(self.cfg.sample_every);
         }
-        self.prev_awake.copy_from(&self.awake_mask);
+        if shared.is_none() {
+            self.prev_awake.copy_from(awake_mask);
+        }
+        self.awake = local_awake;
+        self.awake_mask = local_mask;
         self.round += 1;
     }
 
@@ -394,6 +447,7 @@ impl Simulator {
                     self.violations.direct_violated += 1;
                 }
                 let qp = self.queues[s].push(h.packet, r);
+                self.queue_sizes[s] += 1;
                 self.metrics.total_queued += 1;
                 self.metrics.adoptions += 1;
                 self.metrics.max_station_queued =
@@ -422,6 +476,7 @@ impl Simulator {
         };
         self.next_packet_id += 1;
         let qp = self.queues[inj.station].push(packet, r);
+        self.queue_sizes[inj.station] += 1;
         self.metrics.injected += 1;
         self.metrics.injected_per_station[inj.station] += 1;
         self.metrics.total_queued += 1;
@@ -446,23 +501,29 @@ impl Simulator {
     /// function of the execution (checked after every round), so probe
     /// outcomes are as deterministic as [`Simulator::run`].
     pub fn run_probe(&mut self, rounds: u64, queue_cap: u64) -> bool {
-        let samples = rounds / self.cfg.sample_every + 2;
-        self.metrics.queue_series.reserve(samples as usize);
+        self.run_probe_round(rounds, queue_cap).is_some()
+    }
+
+    /// Like [`Simulator::run_probe`], but report *when* the cap tripped:
+    /// `Some(r)` is the round whose step pushed the total queue past
+    /// `queue_cap` (the last round executed), `None` means the probe ran
+    /// the full horizon without tripping.
+    pub fn run_probe_round(&mut self, rounds: u64, queue_cap: u64) -> Option<u64> {
+        self.reserve_series(rounds);
         for _ in 0..rounds {
             self.step();
             if self.metrics.total_queued > queue_cap {
-                return true;
+                return Some(self.round - 1);
             }
         }
-        false
+        None
     }
 
     /// Disable injections and run until every queue is empty or `max_rounds`
     /// more rounds have elapsed. Returns whether the system drained.
     pub fn run_until_drained(&mut self, max_rounds: u64) -> bool {
         self.set_injections(false);
-        let samples = max_rounds / self.cfg.sample_every + 2;
-        self.metrics.queue_series.reserve(samples as usize);
+        self.reserve_series(max_rounds);
         for _ in 0..max_rounds {
             if self.metrics.total_queued == 0 {
                 return true;
@@ -510,6 +571,33 @@ impl Simulator {
     /// Read access to a station's queue (tests and diagnostics).
     pub fn station_queue(&self, s: StationId) -> &IndexedQueue {
         &self.queues[s]
+    }
+
+    /// The expanded periodic schedule, when one was cached at construction
+    /// (the precondition for lockstep batching — see [`crate::batch`]).
+    pub(crate) fn schedule_cache(&self) -> Option<&ScheduleTable> {
+        self.cache.as_ref()
+    }
+
+    /// The adversary-view wake bookkeeping `(prev_awake, on_counts,
+    /// last_on)` as of the current round.
+    pub(crate) fn adversary_view_state(&self) -> (&BitSet, &[u64], &[Option<Round>]) {
+        (&self.prev_awake, &self.on_counts, &self.last_on)
+    }
+
+    /// Overwrite the adversary-view wake bookkeeping. The batch driver
+    /// calls this when handing lanes back to solo execution, so a lane's
+    /// own (skipped during lockstep) state matches what solo stepping
+    /// would have produced.
+    pub(crate) fn sync_adversary_view(
+        &mut self,
+        prev_awake: &BitSet,
+        on_counts: &[u64],
+        last_on: &[Option<Round>],
+    ) {
+        self.prev_awake.copy_from(prev_awake);
+        self.on_counts.copy_from_slice(on_counts);
+        self.last_on.copy_from_slice(last_on);
     }
 }
 

@@ -66,6 +66,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod bitset;
 pub mod config;
 pub mod engine;
@@ -81,6 +82,7 @@ pub mod schedule;
 pub mod trace;
 pub mod validate;
 
+pub use batch::BatchSimulator;
 pub use bitset::BitSet;
 pub use config::SimConfig;
 pub use engine::Simulator;

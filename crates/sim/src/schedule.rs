@@ -31,7 +31,7 @@ pub const MAX_TABLE_ENTRIES: usize = 1 << 22;
 /// One full period of an [`OnSchedule`], expanded into packed per-round
 /// rows: a bit-mask row (who is on) and the sorted on-set (in enumeration
 /// order), both exactly as `on_set_into` would produce them.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ScheduleTable {
     period: u64,
     words_per_row: usize,

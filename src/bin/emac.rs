@@ -59,8 +59,8 @@ fn main() -> ExitCode {
 fn usage() {
     eprintln!(
         "usage:\n  emac run --alg <name> --n <N> [--k <K>] [--rho P/Q] [--beta B]\n           \
-         [--rounds R] [--adversary <name>] [--seed S] [--drain R] [--trace N]\n           \
-         [--cap C] [--target S] [--dest S] [--period R] [--horizon R]\n  \
+         [--rounds R] [--adversary <name>] [--seed S] [--seeds A,B,C|N] [--drain R]\n           \
+         [--trace N] [--cap C] [--target S] [--dest S] [--period R] [--horizon R]\n  \
          emac campaign <spec.json> [--threads N] [--out DIR]\n           \
          [--format csv|jsonl] [--detail full|slim] [--resume] [--limit M]\n  \
          emac campaign --example   # print a commented example spec\n  \
@@ -519,6 +519,40 @@ fn run(args: &[String]) -> ExitCode {
     };
     let spec = opts.to_spec();
 
+    // Seed batch: one lockstep lane per seed, one verdict/digest row per
+    // lane. Lane digests are exactly what `--seed <s>` solo runs print —
+    // CI diffs the two.
+    if let Some(seeds) = &opts.seeds {
+        if opts.trace.is_some() {
+            eprintln!(
+                "error: --trace traces a single execution; it cannot be combined with --seeds"
+            );
+            return ExitCode::from(2);
+        }
+        let reports = match emac::core::campaign::execute_batch(&spec, seeds, &Registry) {
+            Ok(reports) => reports,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let mut all_clean = true;
+        println!("seed batch: {} lanes | {}", seeds.len(), spec.display_label());
+        for (seed, report) in seeds.iter().zip(&reports) {
+            all_clean &= report.clean();
+            println!(
+                "  seed {seed:>3} | {:<12} | digest {} | delivered {}/{} | max queue {} | invariants: {}",
+                format!("{:?}", report.stability.verdict),
+                emac::core::digest::report_digest_hex(report),
+                report.metrics.delivered,
+                report.metrics.injected,
+                report.max_queue(),
+                report.violations,
+            );
+        }
+        return if all_clean { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
+
     // Tracing requires direct simulator access; otherwise use the runner.
     // Both paths hand the algorithm's schedule (when oblivious) to the
     // registry, so schedule-aware adversaries work here too.
@@ -570,6 +604,7 @@ fn run(args: &[String]) -> ExitCode {
         }
     };
     println!("{report}");
+    println!("  digest: {}", emac::core::digest::report_digest_hex(&report));
     if report.clean() {
         ExitCode::SUCCESS
     } else {

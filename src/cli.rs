@@ -237,6 +237,9 @@ pub struct Opts {
     pub adversary: String,
     /// Adversary seed.
     pub seed: u64,
+    /// Seed batch (`--seeds`): run one lockstep batch lane per seed and
+    /// print per-lane verdict/digest rows instead of one full report.
+    pub seeds: Option<Vec<u64>>,
     /// Optional drain budget after the run.
     pub drain: Option<u64>,
     /// Optional trace window size.
@@ -264,6 +267,7 @@ impl Default for Opts {
             rounds: 100_000,
             adversary: "uniform".into(),
             seed: 42,
+            seeds: None,
             drain: None,
             trace: None,
             cap: None,
@@ -311,6 +315,7 @@ pub fn parse(args: &[String]) -> Result<Opts, String> {
             "--rounds" => o.rounds = value()?.parse().map_err(|e| format!("--rounds: {e}"))?,
             "--adversary" => o.adversary = value()?.to_string(),
             "--seed" => o.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--seeds" => o.seeds = Some(parse_seeds(value()?)?),
             "--drain" => o.drain = Some(value()?.parse().map_err(|e| format!("--drain: {e}"))?),
             "--trace" => o.trace = Some(value()?.parse().map_err(|e| format!("--trace: {e}"))?),
             "--cap" => o.cap = Some(value()?.parse().map_err(|e| format!("--cap: {e}"))?),
@@ -330,6 +335,23 @@ pub fn parse(args: &[String]) -> Result<Opts, String> {
         return Err("--n must be at least 2".into());
     }
     Ok(o)
+}
+
+/// Parse `--seeds`: either an explicit comma-separated list (`--seeds
+/// 3,17,17` — duplicates are legal, lanes are independent) or a count
+/// (`--seeds 8` means seeds `0..8`).
+pub fn parse_seeds(s: &str) -> Result<Vec<u64>, String> {
+    if s.contains(',') {
+        return s
+            .split(',')
+            .map(|part| part.trim().parse().map_err(|e| format!("--seeds {part:?}: {e}")))
+            .collect();
+    }
+    let count: u64 = s.parse().map_err(|e| format!("--seeds: {e}"))?;
+    if count == 0 {
+        return Err("--seeds needs at least one seed".into());
+    }
+    Ok((0..count).collect())
 }
 
 /// Parse a rate given as `P/Q`, `1`, or a decimal in `[0, 1]`.
@@ -400,6 +422,18 @@ mod tests {
         assert_eq!(spec.beta, Rate::new(3, 2));
         assert_eq!(spec.target, Some(2));
         assert_eq!(spec.period, Some(32));
+    }
+
+    #[test]
+    fn seeds_forms() {
+        let o = parse(&argv("--alg k-cycle --seeds 0,3,17")).unwrap();
+        assert_eq!(o.seeds.as_deref(), Some(&[0, 3, 17][..]));
+        let o = parse(&argv("--alg k-cycle --seeds 4")).unwrap();
+        assert_eq!(o.seeds.as_deref(), Some(&[0, 1, 2, 3][..]));
+        assert_eq!(parse(&argv("--alg k-cycle")).unwrap().seeds, None);
+        assert!(parse(&argv("--alg k-cycle --seeds 0")).is_err(), "empty range");
+        assert!(parse(&argv("--alg k-cycle --seeds 1,x")).is_err(), "bad list entry");
+        assert!(parse(&argv("--alg k-cycle --seeds")).is_err(), "missing value");
     }
 
     #[test]

@@ -1,0 +1,95 @@
+//! Batch lane exactness over the full golden registry matrix.
+//!
+//! For every scenario in the golden-determinism matrix (every registry
+//! algorithm × its applicable adversaries × β ∈ {1, 3/2}), a lockstep
+//! seed batch is run through the same executor the frontier's seed
+//! ensembles use ([`emac_core::campaign::execute_batch`]) and every lane's
+//! full [`RunReport`] digest is compared against a solo run of the same
+//! scenario with that lane's seed. This pins the tentpole claim: batching
+//! is a pure execution strategy — lane `i` is bit-for-bit the solo
+//! execution with seed `i`, for periodic-schedule algorithms (shared wake
+//! state), adaptive ones, and the aperiodic duty-cycle baseline (per-lane
+//! fallback) alike.
+//!
+//! [`RunReport`]: emac_core::runner::RunReport
+
+use emac::registry::Registry;
+use emac_core::campaign::{execute_batch, Campaign, ScenarioSpec};
+use emac_core::digest::report_digest_hex;
+use emac_sim::Rate;
+
+const N: usize = 8;
+const K: usize = 4;
+const ROUNDS: u64 = 4_096;
+
+/// Seeds exercised per scenario: the golden matrix seed plus two others.
+const SEEDS: [u64; 3] = [7, 8, 19];
+
+/// The golden-determinism matrix (kept in lockstep with
+/// `tests/golden_determinism.rs`).
+fn matrix() -> Vec<ScenarioSpec> {
+    let algorithms: &[&str] = &[
+        "orchestra",
+        "orchestra-nomb",
+        "count-hop",
+        "adjust-window",
+        "k-cycle",
+        "k-cycle:1/2",
+        "k-clique",
+        "k-subsets",
+        "k-subsets-rrw",
+        "duty-cycle",
+    ];
+    let oblivious: &[&str] =
+        &["k-cycle", "k-cycle:1/2", "k-clique", "k-subsets", "k-subsets-rrw", "duty-cycle"];
+    let betas = [Rate::integer(1), Rate::new(3, 2)];
+    let mut specs = Vec::new();
+    for &alg in algorithms {
+        let mut adversaries = vec!["uniform", "round-robin"];
+        if oblivious.contains(&alg) {
+            adversaries.push("least-on");
+        }
+        for adv in adversaries {
+            for beta in betas {
+                specs.push(
+                    ScenarioSpec::new(alg, adv)
+                        .n(N)
+                        .k(K)
+                        .rho(Rate::new(1, 8))
+                        .beta(beta)
+                        .rounds(ROUNDS)
+                        .seed(7)
+                        .horizon(2_000)
+                        .label(format!("{alg}|{adv}|beta={}/{}", beta.num(), beta.den())),
+                );
+            }
+        }
+    }
+    specs
+}
+
+#[test]
+fn every_matrix_scenario_is_lane_exact() {
+    let specs = matrix();
+    assert_eq!(specs.len(), 52, "matrix drifted from the golden registry");
+    for spec in specs {
+        let label = spec.display_label();
+        let lanes = execute_batch(&spec, &SEEDS, &Registry)
+            .unwrap_or_else(|e| panic!("{label}: batch failed: {e}"));
+        assert_eq!(lanes.len(), SEEDS.len());
+        for (&seed, lane) in SEEDS.iter().zip(&lanes) {
+            let mut solo_spec = spec.clone();
+            solo_spec.seed = seed;
+            let solo = Campaign::new().threads(1).run(std::slice::from_ref(&solo_spec), &Registry);
+            let solo = solo.runs[0]
+                .outcome
+                .as_ref()
+                .unwrap_or_else(|e| panic!("{label} seed {seed}: solo failed: {e}"));
+            assert_eq!(
+                report_digest_hex(lane),
+                report_digest_hex(solo),
+                "{label}: lane digest for seed {seed} diverged from the solo run"
+            );
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Frontier seed-ensemble semantics: the `"seeds"` template key.
+//!
+//! Three contracts are pinned here on top of the unit tests in
+//! `emac-core`'s frontier module:
+//!
+//! 1. a single-element seed list is a pure seed override — the map is
+//!    byte-identical to editing the template's `"seed"` directly;
+//! 2. a degenerate ensemble of identical seeds equals the solo run with
+//!    the template seed byte-for-byte (every lane is the same execution,
+//!    so the strict-majority verdict collapses to the solo verdict);
+//! 3. an honest multi-seed ensemble still produces a deterministic,
+//!    thread-count-independent map.
+
+use emac::registry::Registry;
+use emac_core::frontier::{CsvMapSink, Frontier, FrontierSpec};
+
+const BASE: &str = r#"{
+  "template": {"algorithm": "k-cycle", "adversary": "spread-from-one",
+               "target": 1, "beta": "1", "rounds": 8000, "probe_cap": 800SEED},
+  "axis": "rho",
+  "lo": "0.5 * group_share",
+  "hi": "1.25 * k_cycle_threshold",
+  "tol": 0.0625,
+  "map": {"n": [9], "k": [3]}SEEDS
+}"#;
+
+fn spec(seed: Option<u64>, seeds: &str) -> FrontierSpec {
+    let seed = seed.map_or(String::new(), |s| format!(", \"seed\": {s}"));
+    let seeds = if seeds.is_empty() { String::new() } else { format!(",\n  \"seeds\": {seeds}") };
+    FrontierSpec::parse(&BASE.replace("SEEDS", &seeds).replace("SEED", &seed)).unwrap()
+}
+
+fn run(spec: &FrontierSpec, threads: usize) -> String {
+    let mut sink = CsvMapSink::new(Vec::new());
+    Frontier::new().threads(threads).run_into(spec, &Registry, &mut sink, None).unwrap();
+    String::from_utf8(sink.into_inner()).unwrap()
+}
+
+#[test]
+fn single_seed_list_is_a_template_seed_override() {
+    assert_eq!(run(&spec(None, "[5]"), 1), run(&spec(Some(5), ""), 1));
+    // ... and a scalar parses like a one-element list.
+    assert_eq!(run(&spec(None, "5"), 1), run(&spec(Some(5), ""), 1));
+}
+
+#[test]
+fn identical_seed_ensemble_collapses_to_the_solo_map() {
+    // Template seed defaults to 42; three lanes of seed 42 are three
+    // copies of the solo execution, so the majority verdict — and hence
+    // the whole search trajectory and CSV — must match the solo run.
+    assert_eq!(run(&spec(None, "[42, 42, 42]"), 1), run(&spec(None, ""), 1));
+}
+
+#[test]
+fn seed_ensemble_maps_are_deterministic_at_any_thread_count() {
+    let s = spec(None, "[3, 19, 42]");
+    let serial = run(&s, 1);
+    assert_eq!(serial, run(&s, 4), "ensemble map must not depend on the thread count");
+    assert_eq!(serial, run(&s, 1), "ensemble map must be reproducible");
+}
+
+#[test]
+fn seeds_round_trip_through_json_and_bind_the_digest() {
+    let with = spec(None, "[3, 19, 42]");
+    assert_eq!(with.seeds, vec![3, 19, 42]);
+    let reparsed = FrontierSpec::parse(&with.to_json().render()).unwrap();
+    assert_eq!(reparsed.seeds, with.seeds);
+
+    // No seeds => no "seeds" key: pre-ensemble spec files keep their
+    // digests (and hence their checkpoint identities).
+    let without = spec(None, "");
+    assert!(!without.to_json().render().contains("seeds"));
+    assert_ne!(with.digest("csv"), without.digest("csv"), "seed list must bind the digest");
+
+    let err = FrontierSpec::parse(
+        r#"{"template": {"algorithm": "a", "adversary": "b"}, "seeds": [1, "x"]}"#,
+    )
+    .unwrap_err();
+    assert!(err.contains("unsigned integers"), "{err}");
+}
