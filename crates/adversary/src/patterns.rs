@@ -201,19 +201,32 @@ impl Adversary for Bursty {
     }
 }
 
-/// All injections into one station, destinations rotating over every other
-/// station. Concentrated source, spread sinks.
+/// All injections into one station, destinations spread over every other
+/// station. Concentrated source, spread sinks. Destinations either rotate
+/// deterministically (the default) or are drawn from a seeded RNG
+/// ([`SpreadFromOne::seeded`]); both respect the same `(ρ, β)` type, but
+/// the seeded form makes the execution genuinely seed-dependent — whether
+/// a transmitted packet's destination happens to be awake varies with the
+/// stream — which is what frontier seed ensembles need to disagree near a
+/// boundary.
 #[derive(Clone, Debug)]
 pub struct SpreadFromOne {
     /// Station packets are injected into.
     pub into: StationId,
     counter: u64,
+    rng: Option<SmallRng>,
 }
 
 impl SpreadFromOne {
     /// Flood `into`, rotating destinations.
     pub fn new(into: StationId) -> Self {
-        Self { into, counter: 0 }
+        Self { into, counter: 0, rng: None }
+    }
+
+    /// Flood `into`, destinations drawn uniformly (never `into` itself)
+    /// from a seeded stream.
+    pub fn seeded(into: StationId, seed: u64) -> Self {
+        Self { into, counter: 0, rng: Some(SmallRng::seed_from_u64(seed)) }
     }
 }
 
@@ -229,9 +242,21 @@ impl Adversary for SpreadFromOne {
         let into = self.into;
         out.clear();
         out.extend((0..budget).map(|_| {
-            self.counter += 1;
-            let off = 1 + self.counter % (n - 1);
-            Injection::new(into, ((into as u64 + off) % n) as StationId)
+            let dest = match &mut self.rng {
+                Some(rng) => {
+                    let mut d = rng.random_range(0..view.n - 1);
+                    if d >= into {
+                        d += 1;
+                    }
+                    d
+                }
+                None => {
+                    self.counter += 1;
+                    let off = 1 + self.counter % (n - 1);
+                    ((into as u64 + off) % n) as StationId
+                }
+            };
+            Injection::new(into, dest)
         }));
     }
 }
@@ -337,5 +362,17 @@ mod tests {
             seen.insert(inj.dest);
         }
         assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn seeded_spread_from_one_is_deterministic_per_seed_and_never_self_addressed() {
+        let (qs, pa, oc, lo) = mkview!(6);
+        let v = view(6, &qs, &pa, &oc, &lo);
+        let p1 = SpreadFromOne::seeded(2, 7).plan(0, 40, &v);
+        let p2 = SpreadFromOne::seeded(2, 7).plan(0, 40, &v);
+        let p3 = SpreadFromOne::seeded(2, 8).plan(0, 40, &v);
+        assert_eq!(p1, p2, "same seed, same plan");
+        assert_ne!(p1, p3, "the seed must matter");
+        assert!(p1.iter().all(|i| i.station == 2 && i.dest != 2 && i.dest < 6));
     }
 }

@@ -167,6 +167,35 @@ fn frontier_bisect(rounds: u64, results: &mut Vec<BenchResult>) {
         assert_eq!(summary.probes_run as u64, probes, "probe sequence must be deterministic");
         black_box(summary.completed);
     }));
+
+    // The ensemble-probe variant: the same point under a 5-seed lockstep
+    // ensemble with escalation armed. work_items stays the number of
+    // ensemble probes, so ns/item against frontier_bisect_kcycle_n16
+    // reads as the all-in cost of banding a probe: 5+ lanes, full
+    // horizons on the stable side, and every escalation re-run of a
+    // disagreeing batch.
+    let ensemble_template = format!(
+        r#"{{"template": {{"algorithm": "k-cycle", "adversary": "spread-from-one-rand",
+            "target": 1, "rounds": {rounds}, "probe_cap": 2500}},
+            "lo": "0.5 * group_share", "hi": "1.25 * k_cycle_threshold",
+            "tol": 0.015625, "map": {{"n": [16], "k": [4]}},
+            "seeds": [1, 2, 3, 4, 5],
+            "escalate": {{"max_seeds": 9, "step": 2}}}}"#
+    );
+    let spec = FrontierSpec::parse(&ensemble_template).expect("bench ensemble template");
+    let mut warm = MemoryMapSink::new();
+    let probes = Frontier::new()
+        .threads(1)
+        .run_into(&spec, &Registry, &mut warm, None)
+        .expect("bench ensemble warm-up")
+        .probes_run as u64;
+    results.push(bench("frontier_ensemble_kcycle_n16_s5", probes, || {
+        let mut sink = MemoryMapSink::new();
+        let summary =
+            Frontier::new().threads(1).run_into(&spec, &Registry, &mut sink, None).unwrap();
+        assert_eq!(summary.probes_run as u64, probes, "probe sequence must be deterministic");
+        black_box(summary.completed);
+    }));
 }
 
 fn main() {

@@ -18,12 +18,20 @@
 //! digest 4a3f9c0e12b45d67
 //! points 4
 //! probe 0 s
-//! probe 1 d
+//! probe 1 d 4 5
 //! row 0
 //! …
 //! ```
 //!
-//! Verdicts are one letter: `s`table, `d`iverging, `i`nconclusive.
+//! Verdicts are one letter: `s`table, `d`iverging, `i`nconclusive. Solo
+//! probes record `probe <point> <verdict>`; seed-ensemble probes append
+//! `<diverging-lanes> <total-lanes>` from the probe's **final** (possibly
+//! escalation-widened) lane batch — together with the verdict that is the
+//! whole replayable escalation event: lanes are deterministic, so a resume
+//! reconstructs the verdict-flip band and agreement tallies without
+//! re-running a single probe. An ensemble spec refuses to resume from a
+//! checkpoint whose probe lines lack lane counts (a pre-band artifact):
+//! replaying them would silently drop band state.
 
 use std::fs::{File, OpenOptions};
 use std::io::Write;
@@ -33,13 +41,27 @@ use crate::stability::Verdict;
 
 const MAGIC: &str = "emac-frontier-ckpt v1";
 
+/// One recorded probe: which map point, what the (majority) verdict was,
+/// and — for seed-ensemble probes — the final lane tally.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProbeRecord {
+    /// Map-point index the probe belongs to.
+    pub point: usize,
+    /// The verdict that drove the bisection (the strict-majority verdict
+    /// for ensemble probes; ties count as diverging).
+    pub verdict: Verdict,
+    /// `(diverging lanes, total lanes)` of the final lane batch for
+    /// ensemble probes; `None` for solo probes.
+    pub lanes: Option<(usize, usize)>,
+}
+
 /// Persistent record of probe verdicts and emitted rows — see the module
 /// docs for the format and durability contract.
 #[derive(Debug)]
 pub struct FrontierCheckpoint {
     path: PathBuf,
     points: usize,
-    probes: Vec<(usize, Verdict)>,
+    probes: Vec<ProbeRecord>,
     rows: usize,
     file: File,
 }
@@ -93,14 +115,33 @@ impl FrontierCheckpoint {
         Ok(Self { path: path.to_path_buf(), points, probes, rows, file })
     }
 
-    /// Record one probe verdict for map point `point`. Appended and
+    /// Record one solo probe verdict for map point `point`. Appended and
     /// fsync'd before returning.
     pub fn record_probe(&mut self, point: usize, verdict: Verdict) -> Result<(), String> {
         debug_assert!(point < self.points);
         writeln!(self.file, "probe {point} {}", verdict_letter(verdict))
             .and_then(|()| self.file.sync_data())
             .map_err(|e| format!("checkpoint {}: {e}", self.path.display()))?;
-        self.probes.push((point, verdict));
+        self.probes.push(ProbeRecord { point, verdict, lanes: None });
+        Ok(())
+    }
+
+    /// Record one seed-ensemble probe: the majority verdict plus the final
+    /// batch's `(diverging, total)` lane tally — the replayable escalation
+    /// event. Appended and fsync'd before returning.
+    pub fn record_ensemble_probe(
+        &mut self,
+        point: usize,
+        verdict: Verdict,
+        diverging: usize,
+        lanes: usize,
+    ) -> Result<(), String> {
+        debug_assert!(point < self.points);
+        debug_assert!(diverging <= lanes && lanes > 0);
+        writeln!(self.file, "probe {point} {} {diverging} {lanes}", verdict_letter(verdict))
+            .and_then(|()| self.file.sync_data())
+            .map_err(|e| format!("checkpoint {}: {e}", self.path.display()))?;
+        self.probes.push(ProbeRecord { point, verdict, lanes: Some((diverging, lanes)) });
         Ok(())
     }
 
@@ -122,7 +163,7 @@ impl FrontierCheckpoint {
     }
 
     /// The recorded probes, in recording (= verdict-arrival) order.
-    pub fn probes(&self) -> &[(usize, Verdict)] {
+    pub fn probes(&self) -> &[ProbeRecord] {
         &self.probes
     }
 
@@ -139,7 +180,7 @@ impl FrontierCheckpoint {
     }
 }
 
-type Parsed = (Vec<(usize, Verdict)>, usize);
+type Parsed = (Vec<ProbeRecord>, usize);
 
 fn parse_body(text: &str, digest: u64, points: usize) -> Result<Parsed, String> {
     let mut lines = text.split('\n');
@@ -180,16 +221,27 @@ fn parse_body(text: &str, digest: u64, points: usize) -> Result<Parsed, String> 
             continue;
         }
         if let Some(rest) = line.strip_prefix("probe ") {
-            let (point, letter) =
-                rest.split_once(' ').ok_or_else(|| format!("malformed probe line {line:?}"))?;
-            let point: usize =
-                point.parse().map_err(|_| format!("malformed probe line {line:?}"))?;
+            let malformed = || format!("malformed probe line {line:?}");
+            let mut fields = rest.split(' ');
+            let point: usize = fields.next().and_then(|t| t.parse().ok()).ok_or_else(malformed)?;
             if point >= points {
                 return Err(format!("probe for map point {point} of a {points}-point map"));
             }
-            let verdict = verdict_from_letter(letter)
-                .ok_or_else(|| format!("malformed probe line {line:?}"))?;
-            probes.push((point, verdict));
+            let verdict = fields.next().and_then(verdict_from_letter).ok_or_else(malformed)?;
+            // Optional ensemble tally: `<diverging> <total>` lane counts.
+            let lanes = match fields.next() {
+                None => None,
+                Some(div) => {
+                    let div: usize = div.parse().map_err(|_| malformed())?;
+                    let total: usize =
+                        fields.next().and_then(|t| t.parse().ok()).ok_or_else(malformed)?;
+                    if fields.next().is_some() || div > total || total == 0 {
+                        return Err(malformed());
+                    }
+                    Some((div, total))
+                }
+            };
+            probes.push(ProbeRecord { point, verdict, lanes });
         } else if let Some(index) = line.strip_prefix("row ") {
             let index: usize = index.parse().map_err(|_| format!("malformed row line {line:?}"))?;
             if index != rows {
@@ -214,6 +266,10 @@ mod tests {
         std::env::temp_dir().join(format!("emac-frontier-ckpt-{}-{tag}.ckpt", std::process::id()))
     }
 
+    fn solo(point: usize, verdict: Verdict) -> ProbeRecord {
+        ProbeRecord { point, verdict, lanes: None }
+    }
+
     #[test]
     fn fresh_record_resume_round_trip() {
         let path = temp_path("roundtrip");
@@ -226,11 +282,46 @@ mod tests {
         let ck = FrontierCheckpoint::resume(&path, 0xfeed, 3).unwrap();
         assert_eq!(
             ck.probes(),
-            &[(0, Verdict::Stable), (2, Verdict::Diverging), (0, Verdict::Inconclusive)]
+            &[
+                solo(0, Verdict::Stable),
+                solo(2, Verdict::Diverging),
+                solo(0, Verdict::Inconclusive)
+            ]
         );
         assert_eq!(ck.rows_written(), 1);
         assert_eq!(ck.points(), 3);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn ensemble_probes_round_trip_with_lane_tallies() {
+        let path = temp_path("ensemble");
+        let mut ck = FrontierCheckpoint::fresh(&path, 0xbead, 2).unwrap();
+        ck.record_ensemble_probe(0, Verdict::Diverging, 4, 5).unwrap();
+        ck.record_probe(1, Verdict::Stable).unwrap();
+        ck.record_ensemble_probe(1, Verdict::Stable, 0, 3).unwrap();
+        drop(ck);
+        let ck = FrontierCheckpoint::resume(&path, 0xbead, 2).unwrap();
+        assert_eq!(
+            ck.probes(),
+            &[
+                ProbeRecord { point: 0, verdict: Verdict::Diverging, lanes: Some((4, 5)) },
+                solo(1, Verdict::Stable),
+                ProbeRecord { point: 1, verdict: Verdict::Stable, lanes: Some((0, 3)) },
+            ]
+        );
+        let _ = std::fs::remove_file(&path);
+
+        // malformed tallies are refused: more diverging than total lanes,
+        // zero lanes, trailing junk
+        for bad in ["probe 0 d 6 5", "probe 0 d 0 0", "probe 0 d 1 5 9"] {
+            let path = temp_path("badtally");
+            std::fs::write(&path, format!("{MAGIC}\ndigest {:016x}\npoints 2\n{bad}\n", 1u64))
+                .unwrap();
+            let err = FrontierCheckpoint::resume(&path, 1, 2).unwrap_err();
+            assert!(err.contains("malformed probe line"), "{bad}: {err}");
+            let _ = std::fs::remove_file(&path);
+        }
     }
 
     #[test]

@@ -5,10 +5,10 @@
 //! k-Subsets/k-Clique rate frontiers — but a fixed campaign grid can only
 //! sample them; finding where the verdict flips meant eyeballing rows.
 //! This module *searches* for the boundary: given a scenario template, a
-//! search axis (`rho` or `beta`), and a bracket, it bisects the
-//! stable/unstable boundary to a requested tolerance using the existing
-//! stability verdict, and sweeps that bisection across one or two *map
-//! axes* (`n`, `k`) to emit a frontier map — one row
+//! search axis (`rho`, `beta`, `k`, or `ell`), and a bracket, it bisects
+//! the stable/unstable boundary to a requested tolerance using the
+//! existing stability verdict, and sweeps that bisection across one or two
+//! *map axes* (`n`, `k`) to emit a frontier map — one row
 //! `(n, k, lo, hi, boundary, probes, status)` per map point.
 //!
 //! The search is layered **on** the campaign machinery, not beside it:
@@ -48,10 +48,60 @@
 //! horizon. The template's `probe_cap` makes above-boundary probes cheap:
 //! they exit as soon as the queue blows past the cap
 //! ([`Runner::probe_cap`](crate::runner::Runner::probe_cap)).
+//!
+//! The integer axes (`"axis": "k"` or `"ell"`) bisect a spec field
+//! instead of a rate: bracket expressions must evaluate to integers,
+//! midpoints are floored, and a point converges once the bracket is at
+//! most `max(tol, 1)` wide. `k` searches the cap parameter itself (note
+//! the inverted orientation: *small* `k` diverges, large `k` is stable,
+//! because thresholds like `(k−1)/(n−1)` grow with `k`); `ell` searches
+//! the k-Cycle group count, realised through the nearest achievable cap
+//! `k = ⌈n/ℓ⌉ + 1` — where no cap yields the probed `ℓ` exactly, the
+//! closest achievable group count below it is what actually runs.
+//!
+//! # Seed ensembles, bands, escalation
+//!
+//! With two or more `"seeds"`, every probe runs all seeds as one lockstep
+//! batch ([`Runner::try_run_batch`](crate::runner::Runner::try_run_batch))
+//! and the bisection follows the **strict-majority** verdict; a tie on an
+//! even ensemble counts as `Diverging` (the conservative reading: half
+//! the streams blowing up is not stability). Ensemble rows carry three
+//! extra columns:
+//!
+//! - `band_lo`/`band_hi` — the *verdict-flip band*: from the lowest probed
+//!   axis value where **any** lane diverged through the highest where any
+//!   lane was stable, clamped to include `boundary`. When every probe was
+//!   unanimous the band collapses to `band_lo == band_hi == boundary`.
+//! - `agreement` — the fraction of lane verdicts that matched their
+//!   probe's majority verdict, over each probe's final lane batch;
+//!   `1.000000` exactly when the band is degenerate.
+//!
+//! An `"escalate": {"max_seeds": S, "step": d}` rule spends extra seeds
+//! only where the ensemble disagrees: a probe whose final batch is mixed
+//! re-runs with `d` more lanes (fresh seeds `max(seeds)+1, +2, …`) until
+//! the batch is unanimous or `S` lanes are reached. Lanes are
+//! deterministic, so re-probing cannot flip the lanes already run — a
+//! unanimous base ensemble never escalates, and a genuinely contested
+//! probe widens to the cap, sharpening the band and the agreement
+//! denominator. Escalation outcomes are recorded in the checkpoint as
+//! replayable events (the final lane tally), so a killed map resumes to
+//! byte-identical output without re-running anything.
+//!
+//! # `n`-continuation
+//!
+//! `"continuation": "n"` warm-starts each point's bracket from the
+//! boundary found at the previous `n` in the map (same `k`): the bracket
+//! shrinks to the predecessor's final bracket widened by its own width on
+//! each side (clamped to this point's full bracket). If the boundary
+//! drifted outside the warm bracket, the search falls back to the full
+//! bracket endpoint on the escaped side instead of mis-reporting
+//! `all-stable`/`all-diverging`.
 
 pub mod checkpoint;
 
 use std::io::Write;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use emac_sim::Rate;
 
@@ -73,15 +123,22 @@ pub enum SearchAxis {
     Rho,
     /// Bisect the burstiness β.
     Beta,
+    /// Bisect the cap parameter `k` (integer; *low* `k` diverges).
+    K,
+    /// Bisect the k-Cycle group count `ℓ`, realised via `k = ⌈n/ℓ⌉ + 1`
+    /// (integer; high `ℓ` — small group share — diverges).
+    Ell,
 }
 
 impl SearchAxis {
-    /// Parse an axis name (`"rho"` or `"beta"`).
+    /// Parse an axis name (`"rho"`, `"beta"`, `"k"`, or `"ell"`).
     pub fn parse(s: &str) -> Result<Self, String> {
         match s {
             "rho" => Ok(SearchAxis::Rho),
             "beta" => Ok(SearchAxis::Beta),
-            other => Err(format!("search axis must be rho or beta, got {other:?}")),
+            "k" => Ok(SearchAxis::K),
+            "ell" => Ok(SearchAxis::Ell),
+            other => Err(format!("search axis must be rho, beta, k, or ell, got {other:?}")),
         }
     }
 
@@ -90,7 +147,22 @@ impl SearchAxis {
         match self {
             SearchAxis::Rho => "rho",
             SearchAxis::Beta => "beta",
+            SearchAxis::K => "k",
+            SearchAxis::Ell => "ell",
         }
+    }
+
+    /// Whether the axis takes integer values (floored midpoints, bracket
+    /// converged at width `max(tol, 1)`).
+    pub fn integer(self) -> bool {
+        matches!(self, SearchAxis::K | SearchAxis::Ell)
+    }
+
+    /// Whether divergence lies on the *high* side of the bracket. True for
+    /// `rho`, `beta`, and `ell` (more load / smaller group share diverges);
+    /// false for `k`, where raising the cap raises the stability threshold.
+    pub fn diverges_high(self) -> bool {
+        !matches!(self, SearchAxis::K)
     }
 }
 
@@ -128,6 +200,24 @@ impl Status {
     }
 }
 
+/// Adaptive seed-escalation rule: widen a probe's lane batch while its
+/// ensemble disagrees (see the module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EscalateSpec {
+    /// Hard cap on lanes per probe (inclusive).
+    pub max_seeds: usize,
+    /// Lanes added per widening round.
+    pub step: usize,
+}
+
+/// Map axis along which points warm-start from their predecessor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Continuation {
+    /// Each `(n, k)` point warm-starts its bracket from the finished
+    /// boundary at the previous `n` in the map's `n` list (same `k`).
+    N,
+}
+
 /// A parsed frontier search specification — see the module docs for the
 /// JSON form.
 #[derive(Clone, Debug)]
@@ -151,11 +241,17 @@ pub struct FrontierSpec {
     /// Probe seed ensemble. Empty (the default) probes with the template's
     /// own seed; one seed overrides it; more than one runs every probe as
     /// a lockstep seed batch ([`Runner::try_run_batch`]) and takes the
-    /// strict-majority verdict across lanes, so a boundary stops being one
-    /// RNG stream's opinion.
+    /// strict-majority verdict across lanes (ties on even ensembles count
+    /// as diverging — the conservative reading), so a boundary stops being
+    /// one RNG stream's opinion. Ensemble rows additionally report the
+    /// verdict-flip band and lane agreement.
     ///
     /// [`Runner::try_run_batch`]: crate::runner::Runner::try_run_batch
     pub seeds: Vec<u64>,
+    /// Adaptive seed escalation; requires an ensemble (`seeds.len() >= 2`).
+    pub escalate: Option<EscalateSpec>,
+    /// Warm-start brackets along a map axis.
+    pub continuation: Option<Continuation>,
 }
 
 impl FrontierSpec {
@@ -177,6 +273,8 @@ impl FrontierSpec {
         let mut ns = None;
         let mut ks = None;
         let mut seeds = Vec::new();
+        let mut escalate = None;
+        let mut continuation = None;
         for (key, value) in members {
             match key.as_str() {
                 "template" => template = Some(RawScenario::parse(value)?),
@@ -213,6 +311,31 @@ impl FrontierSpec {
                         .map(|j| j.as_u64().ok_or("\"seeds\" must hold unsigned integers"))
                         .collect::<Result<_, _>>()?;
                 }
+                "escalate" => {
+                    let Json::Obj(fields) = value else {
+                        return Err("\"escalate\" must be an object".into());
+                    };
+                    let mut max_seeds = None;
+                    let mut step = 1usize;
+                    for (ek, ev) in fields {
+                        match ek.as_str() {
+                            "max_seeds" => {
+                                max_seeds =
+                                    Some(ev.as_usize().ok_or("\"max_seeds\" must be an integer")?)
+                            }
+                            "step" => step = ev.as_usize().ok_or("\"step\" must be an integer")?,
+                            other => return Err(format!("unknown escalate key {other:?}")),
+                        }
+                    }
+                    let max_seeds = max_seeds.ok_or("escalate needs \"max_seeds\"")?;
+                    escalate = Some(EscalateSpec { max_seeds, step });
+                }
+                "continuation" => {
+                    continuation = Some(match value.as_str() {
+                        Some("n") => Continuation::N,
+                        _ => return Err("\"continuation\" must be \"n\"".into()),
+                    })
+                }
                 other => return Err(format!("unknown frontier key {other:?}")),
             }
         }
@@ -226,6 +349,8 @@ impl FrontierSpec {
             hi,
             tol,
             seeds,
+            escalate,
+            continuation,
         };
         spec.validate()?;
         Ok(spec)
@@ -242,6 +367,23 @@ impl FrontierSpec {
         }
         if self.ns.is_empty() || self.ks.is_empty() {
             return Err("map axes must be non-empty".into());
+        }
+        if let Some(esc) = &self.escalate {
+            if self.seeds.len() < 2 {
+                return Err(
+                    "escalation widens a seed ensemble; give the spec at least two seeds".into()
+                );
+            }
+            if esc.max_seeds < self.seeds.len() {
+                return Err(format!(
+                    "escalate max_seeds {} is below the base ensemble of {} seeds",
+                    esc.max_seeds,
+                    self.seeds.len()
+                ));
+            }
+            if esc.step == 0 {
+                return Err("escalate step must be positive".into());
+            }
         }
         Ok(())
     }
@@ -298,6 +440,20 @@ impl FrontierSpec {
                 Json::Arr(self.seeds.iter().map(|&s| Json::Int(s as i64)).collect()),
             ));
         }
+        // Same deal for the band-era keys: absent keys render nothing, so
+        // pre-band specs keep their digests and checkpoints.
+        if let Some(esc) = &self.escalate {
+            members.push((
+                "escalate".into(),
+                Json::Obj(vec![
+                    ("max_seeds".into(), Json::Int(esc.max_seeds as i64)),
+                    ("step".into(), Json::Int(esc.step as i64)),
+                ]),
+            ));
+        }
+        if let Some(Continuation::N) = self.continuation {
+            members.push(("continuation".into(), Json::Str("n".into())));
+        }
         Json::Obj(members)
     }
 
@@ -333,6 +489,24 @@ fn int_axis(v: &Json, key: &str) -> Result<Vec<usize>, String> {
     Ok(items)
 }
 
+/// Verdict-flip band of a seed-ensemble map point (see the module docs
+/// for the exact semantics).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BandStats {
+    /// Lowest probed axis value where any lane diverged, clamped to at
+    /// most `boundary`; equals `boundary` when every probe was unanimous.
+    pub lo: f64,
+    /// Highest probed axis value where any lane was stable, clamped to at
+    /// least `boundary`; equals `boundary` when every probe was unanimous.
+    pub hi: f64,
+    /// Fraction of lane verdicts matching their probe's majority verdict
+    /// (final batches only); exactly `1.0` iff the band is degenerate.
+    pub agreement: f64,
+    /// Widest lane batch any probe of this point ran (escalation cap
+    /// audit; not a CSV column).
+    pub max_lanes: usize,
+}
+
 /// One finished map point, as it appears in the output.
 #[derive(Clone, Debug)]
 pub struct MapRow {
@@ -351,6 +525,9 @@ pub struct MapRow {
     pub probes: u32,
     /// How the search ended.
     pub status: Status,
+    /// Verdict-flip band; present exactly for seed-ensemble maps
+    /// (`seeds.len() >= 2`), so solo maps keep their legacy byte format.
+    pub band: Option<BandStats>,
 }
 
 impl MapRow {
@@ -361,15 +538,22 @@ impl MapRow {
     }
 }
 
-/// Columns of every frontier CSV export.
+/// Columns of a solo-map frontier CSV export.
 pub const FRONTIER_CSV_HEADER: &str = "n,k,axis,lo,hi,boundary,probes,status";
 
+/// Columns of a seed-ensemble frontier CSV export: the legacy columns
+/// first (byte-for-byte — a band row with its last three fields stripped
+/// is a legacy row), then the band.
+pub const FRONTIER_BAND_CSV_HEADER: &str =
+    "n,k,axis,lo,hi,boundary,probes,status,band_lo,band_hi,agreement";
+
 /// One map row as a CSV line (no trailing newline), matching
-/// [`FRONTIER_CSV_HEADER`]. Bracket endpoints are exact rationals; the
-/// boundary estimate is fixed to six decimals so exports are
+/// [`FRONTIER_CSV_HEADER`] — or [`FRONTIER_BAND_CSV_HEADER`] when the row
+/// carries a band. Bracket endpoints are exact rationals; the boundary and
+/// band estimates are fixed to six decimals so exports are
 /// byte-deterministic.
 pub fn csv_row(row: &MapRow) -> String {
-    format!(
+    let mut line = format!(
         "{},{},{},{},{},{:.6},{},{}",
         row.point.n,
         row.point.k,
@@ -379,12 +563,16 @@ pub fn csv_row(row: &MapRow) -> String {
         row.boundary(),
         row.probes,
         row.status.name()
-    )
+    );
+    if let Some(band) = &row.band {
+        line.push_str(&format!(",{:.6},{:.6},{:.6}", band.lo, band.hi, band.agreement));
+    }
+    line
 }
 
 /// One map row as a compact JSON object (the JSONL line format).
 pub fn row_json(row: &MapRow) -> Json {
-    Json::Obj(vec![
+    let mut members = vec![
         ("index".into(), Json::Int(row.index as i64)),
         ("n".into(), Json::Int(row.point.n as i64)),
         ("k".into(), Json::Int(row.point.k as i64)),
@@ -394,7 +582,13 @@ pub fn row_json(row: &MapRow) -> Json {
         ("boundary".into(), Json::Float(row.boundary())),
         ("probes".into(), Json::Int(row.probes as i64)),
         ("status".into(), Json::Str(row.status.name().into())),
-    ])
+    ];
+    if let Some(band) = &row.band {
+        members.push(("band_lo".into(), Json::Float(band.lo)));
+        members.push(("band_hi".into(), Json::Float(band.hi)));
+        members.push(("agreement".into(), Json::Float(band.agreement)));
+    }
+    Json::Obj(members)
 }
 
 /// Consumer of finished map rows, invoked in map-point order.
@@ -444,7 +638,11 @@ impl<W: Write> MapSink for CsvMapSink<W> {
     fn accept(&mut self, row: &MapRow) -> Result<(), String> {
         if self.header_pending {
             self.header_pending = false;
-            writeln!(self.out, "{FRONTIER_CSV_HEADER}").map_err(|e| format!("csv sink: {e}"))?;
+            // The first row decides the header: band columns are present
+            // for all rows of a map or none (it is a property of the spec).
+            let header =
+                if row.band.is_some() { FRONTIER_BAND_CSV_HEADER } else { FRONTIER_CSV_HEADER };
+            writeln!(self.out, "{header}").map_err(|e| format!("csv sink: {e}"))?;
         }
         writeln!(self.out, "{}", csv_row(row)).map_err(|e| format!("csv sink: {e}"))
     }
@@ -540,35 +738,163 @@ fn midpoint(lo: Rate, hi: Rate) -> Result<Rate, String> {
     }
 }
 
+/// Floored integer midpoint for the integer axes (`k`, `ell`).
+fn midpoint_int(lo: Rate, hi: Rate) -> Rate {
+    debug_assert!(lo.den() == 1 && hi.den() == 1);
+    Rate::integer((lo.num() + hi.num()) / 2)
+}
+
 fn width(lo: Rate, hi: Rate) -> f64 {
     hi.as_f64() - lo.as_f64()
 }
 
+/// `a + b` as an exact rational, or `cap` if the result overflows `u64`
+/// rationals or exceeds it (warm brackets clamp to the full bracket
+/// anyway).
+fn rate_add_capped(a: Rate, b: Rate, cap: Rate) -> Rate {
+    let num = a.num() as u128 * b.den() as u128 + b.num() as u128 * a.den() as u128;
+    let den = a.den() as u128 * b.den() as u128;
+    let g = gcd(num.max(1), den);
+    match (u64::try_from(num / g), u64::try_from(den / g)) {
+        (Ok(num), Ok(den)) => {
+            let sum = Rate::new(num, den);
+            if cap.lt(&sum) {
+                cap
+            } else {
+                sum
+            }
+        }
+        _ => cap,
+    }
+}
+
+/// `a − b` as an exact rational, or `floor` if the result underflows zero,
+/// overflows `u64` rationals, or falls below it.
+fn rate_sub_floored(a: Rate, b: Rate, floor: Rate) -> Rate {
+    let pos = a.num() as u128 * b.den() as u128;
+    let neg = b.num() as u128 * a.den() as u128;
+    if pos <= neg {
+        return floor;
+    }
+    let num = pos - neg;
+    let den = a.den() as u128 * b.den() as u128;
+    let g = gcd(num.max(1), den);
+    match (u64::try_from(num / g), u64::try_from(den / g)) {
+        (Ok(num), Ok(den)) => {
+            let diff = Rate::new(num, den);
+            if diff.lt(&floor) {
+                floor
+            } else {
+                diff
+            }
+        }
+        _ => floor,
+    }
+}
+
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Phase {
+    /// Continuation point waiting for its predecessor's boundary.
+    Waiting,
     ProbeLo,
     ProbeHi,
     Bisect,
     Done(Status),
 }
 
+/// Strict-majority verdict of a lane batch: `Diverging` iff at least half
+/// the lanes diverged — a tie on an even ensemble is conservatively
+/// `Diverging` (half the streams blowing up is not stability). Lanes that
+/// report `Inconclusive` count as stable, like solo probes.
+pub fn majority_verdict(diverging: usize, lanes: usize) -> Verdict {
+    if diverging * 2 >= lanes.max(1) {
+        Verdict::Diverging
+    } else {
+        Verdict::Stable
+    }
+}
+
+/// Per-point verdict-flip band and agreement tally over ensemble probes.
+///
+/// The band spans the *mixed* probes — those where lanes disagreed. For
+/// the `rho`-like axes this is exactly "the lowest probed value where any
+/// lane diverges through the highest where any lane is stable" (unanimous
+/// verdicts always respect the final bracket, so the extremes of that
+/// span are mixed probes), and unlike that formulation it stays correct
+/// on the inverted `k` axis, where divergence lives on the low side.
+#[derive(Clone, Copy, Debug, Default)]
+struct EnsembleTally {
+    /// Lowest and highest probed values whose lane batch was mixed.
+    mixed_min: Option<Rate>,
+    mixed_max: Option<Rate>,
+    /// Lane verdicts matching their probe's majority verdict.
+    matched: u64,
+    /// Total lane verdicts (final batches only).
+    total: u64,
+    /// Widest batch seen (escalation audit).
+    max_lanes: usize,
+}
+
+impl EnsembleTally {
+    fn record(&mut self, rate: Rate, diverging: usize, lanes: usize) {
+        if diverging > 0 && diverging < lanes {
+            if self.mixed_min.is_none_or(|m| rate.cmp_exact(&m) == std::cmp::Ordering::Less) {
+                self.mixed_min = Some(rate);
+            }
+            if self.mixed_max.is_none_or(|m| m.cmp_exact(&rate) == std::cmp::Ordering::Less) {
+                self.mixed_max = Some(rate);
+            }
+        }
+        let majority_div = majority_verdict(diverging, lanes) == Verdict::Diverging;
+        self.matched += if majority_div { diverging } else { lanes - diverging } as u64;
+        self.total += lanes as u64;
+        self.max_lanes = self.max_lanes.max(lanes);
+    }
+
+    /// The band around the finished point's boundary estimate: degenerate
+    /// (`lo == hi == boundary`, agreement exactly 1) when every probe was
+    /// unanimous, else the mixed-probe span widened to include the
+    /// boundary — so `band_lo <= boundary <= band_hi` always holds.
+    fn band(&self, boundary: f64) -> BandStats {
+        let (lo, hi) = match (self.mixed_min, self.mixed_max) {
+            (Some(a), Some(b)) => (a.as_f64().min(boundary), b.as_f64().max(boundary)),
+            _ => (boundary, boundary),
+        };
+        let agreement = if self.total == 0 { 1.0 } else { self.matched as f64 / self.total as f64 };
+        BandStats { lo, hi, agreement, max_lanes: self.max_lanes }
+    }
+}
+
 /// The bisection state of one map point.
 #[derive(Clone, Debug)]
 struct PointSearch {
     point: MapPoint,
+    axis: SearchAxis,
     /// The template resolved at this point (expressions evaluated); the
     /// search axis field is overwritten per probe.
     base: ScenarioSpec,
     lo: Rate,
     hi: Rate,
+    /// The spec's bracket at this point. Warm-started searches narrow
+    /// `lo`/`hi` inside these; escape fallbacks restore them.
+    full_lo: Rate,
+    full_hi: Rate,
+    /// Whether the current `hi` was already observed above the boundary —
+    /// set by the low-side escape fallback, whose re-probe of `lo` can
+    /// then jump straight to bisection.
+    hi_observed: bool,
+    /// Predecessor map-point index a continuation point warm-starts from.
+    waiting_on: Option<usize>,
+    /// Band/agreement tally; accumulates exactly for ensemble probes.
+    tally: Option<EnsembleTally>,
     phase: Phase,
-    /// The next rate to probe; `None` exactly when the point is done.
+    /// The next rate to probe; `None` when the point is done or waiting.
     pending: Option<Rate>,
     probes: u32,
 }
 
 impl PointSearch {
-    fn new(spec: &FrontierSpec, point: MapPoint) -> Result<Self, String> {
+    fn new(spec: &FrontierSpec, index: usize, point: MapPoint) -> Result<Self, String> {
         let env = ExprEnv::new(point.n, point.k);
         let at = |e: &str| format!("map point n={}, k={}: {e}", point.n, point.k);
         let base = spec.template.clone().resolve_at(&env).map_err(|e| at(&e))?;
@@ -580,10 +906,67 @@ impl PointSearch {
         if spec.axis == SearchAxis::Rho && Rate::one().lt(&hi) {
             return Err(at(&format!("rho bracket must stay within [0, 1], hi is {hi}")));
         }
+        if spec.axis.integer() {
+            if lo.den() != 1 || hi.den() != 1 {
+                return Err(at(&format!(
+                    "{} bracket endpoints must be integers, got [{lo}, {hi}]",
+                    spec.axis.name()
+                )));
+            }
+            if lo.num() < 2 {
+                return Err(at(&format!(
+                    "{} bracket must start at 2 or above, lo is {lo}",
+                    spec.axis.name()
+                )));
+            }
+        }
+        // Continuation points (every n after the first) wait for their
+        // predecessor at the previous n (same k) before picking a bracket.
+        let waiting_on = match spec.continuation {
+            Some(Continuation::N) if index >= spec.ks.len() => Some(index - spec.ks.len()),
+            _ => None,
+        };
+        let (phase, pending) =
+            if waiting_on.is_some() { (Phase::Waiting, None) } else { (Phase::ProbeLo, Some(lo)) };
         // Even a bracket already narrower than tol probes both endpoints:
         // `converged` must always mean "lo observed stable, hi observed
         // diverging", never an untested assertion.
-        Ok(Self { point, base, lo, hi, phase: Phase::ProbeLo, pending: Some(lo), probes: 0 })
+        Ok(Self {
+            point,
+            axis: spec.axis,
+            base,
+            lo,
+            hi,
+            full_lo: lo,
+            full_hi: hi,
+            hi_observed: false,
+            waiting_on,
+            tally: None,
+            phase,
+            pending,
+            probes: 0,
+        })
+    }
+
+    /// Start a waiting continuation point, warm-starting its bracket from
+    /// the predecessor's final one (widened by its own width on each side,
+    /// clamped to this point's full bracket) when the predecessor
+    /// converged; escape statuses carry no boundary to continue from, so
+    /// the full bracket is searched instead.
+    fn activate(&mut self, pred_status: Status, pred_lo: Rate, pred_hi: Rate) {
+        debug_assert_eq!(self.phase, Phase::Waiting);
+        if pred_status == Status::Converged {
+            let w = rate_sub_floored(pred_hi, pred_lo, Rate::zero());
+            let warm_lo = rate_sub_floored(pred_lo, w, self.full_lo);
+            let warm_hi = rate_add_capped(pred_hi, w, self.full_hi);
+            if warm_lo.lt(&warm_hi) {
+                self.lo = warm_lo;
+                self.hi = warm_hi;
+            }
+        }
+        self.waiting_on = None;
+        self.phase = Phase::ProbeLo;
+        self.pending = Some(self.lo);
     }
 
     fn finish(&mut self, status: Status) {
@@ -595,22 +978,54 @@ impl PointSearch {
         matches!(self.phase, Phase::Done(_))
     }
 
-    /// The spec for the pending probe, or `None` when done.
-    fn probe_spec(&self, axis: SearchAxis) -> Option<ScenarioSpec> {
+    /// The spec for the pending probe, or `None` when done or waiting.
+    fn probe_spec(&self) -> Option<ScenarioSpec> {
         let rate = self.pending?;
         let mut spec = self.base.clone();
-        match axis {
+        match self.axis {
             SearchAxis::Rho => spec.rho = rate,
             SearchAxis::Beta => spec.beta = rate,
+            SearchAxis::K => spec.k = rate.num() as usize,
+            // The nearest achievable cap for the probed group count; where
+            // no cap yields it exactly, this runs the closest ℓ below it.
+            SearchAxis::Ell => spec.k = self.point.n.div_ceil(rate.num() as usize) + 1,
         }
         Some(spec)
     }
 
+    /// Advance the state machine with one probe verdict, feeding the band
+    /// tally when the probe ran a lane ensemble (`(diverging, lanes)` of
+    /// its final batch).
+    fn apply_probe(
+        &mut self,
+        verdict: Verdict,
+        ensemble: Option<(usize, usize)>,
+        tol: f64,
+    ) -> Result<(), String> {
+        if let (Some((diverging, lanes)), Some(rate)) = (ensemble, self.pending) {
+            self.tally.get_or_insert_with(EnsembleTally::default).record(rate, diverging, lanes);
+        }
+        self.apply(verdict, tol)
+    }
+
     /// Advance the state machine with one probe verdict. Only `Diverging`
-    /// counts as above the boundary.
+    /// counts as above the boundary on the `rho`-like axes; the `k` axis
+    /// is inverted (small caps diverge), which the `above` transform
+    /// absorbs so one bracket-narrowing machine serves every axis.
     fn apply(&mut self, verdict: Verdict, tol: f64) -> Result<(), String> {
         let diverged = verdict == Verdict::Diverging;
+        let above = if self.axis.diverges_high() { diverged } else { !diverged };
+        let escape_low =
+            if self.axis.diverges_high() { Status::AllDiverging } else { Status::AllStable };
+        let escape_high =
+            if self.axis.diverges_high() { Status::AllStable } else { Status::AllDiverging };
         match self.phase {
+            Phase::Waiting => {
+                return Err(format!(
+                    "map point n={}, k={} received a probe before its predecessor finished",
+                    self.point.n, self.point.k
+                ))
+            }
             Phase::Done(_) => {
                 return Err(format!(
                     "map point n={}, k={} received a probe after completing",
@@ -619,8 +1034,22 @@ impl PointSearch {
             }
             Phase::ProbeLo => {
                 self.probes += 1;
-                if diverged {
-                    self.finish(Status::AllDiverging);
+                if above {
+                    if self.full_lo.lt(&self.lo) {
+                        // The boundary escaped a warm bracket on the low
+                        // side: the probed warm `lo` is an above-boundary
+                        // observation — reuse it as the bracket's `hi` and
+                        // fall back to the full lower endpoint.
+                        self.hi = self.lo;
+                        self.hi_observed = true;
+                        self.lo = self.full_lo;
+                        self.pending = Some(self.lo);
+                    } else {
+                        self.finish(escape_low);
+                    }
+                } else if self.hi_observed {
+                    self.phase = Phase::Bisect;
+                    self.advance(tol)?;
                 } else {
                     self.phase = Phase::ProbeHi;
                     self.pending = Some(self.hi);
@@ -628,17 +1057,23 @@ impl PointSearch {
             }
             Phase::ProbeHi => {
                 self.probes += 1;
-                if diverged {
+                if above {
                     self.phase = Phase::Bisect;
                     self.advance(tol)?;
+                } else if self.hi.lt(&self.full_hi) {
+                    // Escaped a warm bracket on the high side: the probed
+                    // warm `hi` becomes the bracket's `lo`.
+                    self.lo = self.hi;
+                    self.hi = self.full_hi;
+                    self.pending = Some(self.hi);
                 } else {
-                    self.finish(Status::AllStable);
+                    self.finish(escape_high);
                 }
             }
             Phase::Bisect => {
                 self.probes += 1;
                 let mid = self.pending.take().expect("bisect phase always has a pending probe");
-                if diverged {
+                if above {
                     self.hi = mid;
                 } else {
                     self.lo = mid;
@@ -649,28 +1084,34 @@ impl PointSearch {
         Ok(())
     }
 
-    /// Converge or schedule the next midpoint probe.
+    /// Converge or schedule the next midpoint probe. Integer axes floor
+    /// the midpoint and converge at bracket width `max(tol, 1)`.
     fn advance(&mut self, tol: f64) -> Result<(), String> {
+        let tol = if self.axis.integer() { tol.max(1.0) } else { tol };
         if width(self.lo, self.hi) <= tol {
             self.finish(Status::Converged);
+        } else if self.axis.integer() {
+            self.pending = Some(midpoint_int(self.lo, self.hi));
         } else {
             self.pending = Some(midpoint(self.lo, self.hi)?);
         }
         Ok(())
     }
 
-    fn row(&self, index: usize, axis: SearchAxis) -> MapRow {
+    fn row(&self, index: usize) -> MapRow {
         let Phase::Done(status) = self.phase else {
             unreachable!("rows are emitted only for completed points");
         };
+        let boundary = (self.lo.as_f64() + self.hi.as_f64()) / 2.0;
         MapRow {
             index,
             point: self.point,
-            axis,
+            axis: self.axis,
             lo: self.lo,
             hi: self.hi,
             probes: self.probes,
             status,
+            band: self.tally.map(|t| t.band(boundary)),
         }
     }
 }
@@ -694,6 +1135,57 @@ pub struct FrontierSummary {
     /// baseline violates by design — but a non-zero count means the mapped
     /// boundary deserves scrutiny; the CLI exits non-zero on it.
     pub unclean_probes: usize,
+    /// Probes (of `probes_run`) whose lane batch was widened by the
+    /// `escalate` rule — i.e. whose base ensemble disagreed.
+    pub escalated_probes: usize,
+}
+
+/// A wave slot's resolved probe: the verdict plus, on ensemble maps, the
+/// final batch's `(diverging, lanes)` split.
+type WaveVerdict = Option<(Verdict, Option<(usize, usize)>)>;
+
+/// Outcome of one (possibly escalated) seed-ensemble probe: the final lane
+/// batch's tally.
+struct ProbeOutcome {
+    diverging: usize,
+    lanes: usize,
+    unclean: bool,
+}
+
+/// Run one probe's seed ensemble, widening the lane batch by
+/// `escalate.step` fresh seeds (`max(seeds so far) + 1, + 2, …`) while the
+/// batch is mixed and below `escalate.max_seeds`. Lanes are deterministic,
+/// so widening re-runs them bit-exactly; only the final batch's tally
+/// matters — it is the replayable escalation event.
+fn run_escalating_probe<F>(
+    probe: &ScenarioSpec,
+    base_seeds: &[u64],
+    escalate: Option<EscalateSpec>,
+    factory: &F,
+) -> Result<ProbeOutcome, String>
+where
+    F: ScenarioFactory + Sync,
+{
+    let mut seeds = base_seeds.to_vec();
+    loop {
+        let reports = crate::campaign::execute_batch(probe, &seeds, factory)
+            .map_err(|e| format!("frontier probe {}: {e}", probe.display_label()))?;
+        let lanes = reports.len();
+        let diverging =
+            reports.iter().filter(|r| r.stability.verdict == Verdict::Diverging).count();
+        let mixed = diverging > 0 && diverging < lanes;
+        match escalate {
+            Some(esc) if mixed && lanes < esc.max_seeds => {
+                let add = esc.step.min(esc.max_seeds - lanes);
+                let top = seeds.iter().copied().max().unwrap_or(0);
+                seeds.extend((1..=add as u64).map(|i| top.wrapping_add(i)));
+            }
+            _ => {
+                let unclean = reports.iter().any(|r| !r.clean());
+                return Ok(ProbeOutcome { diverging, lanes, unclean });
+            }
+        }
+    }
 }
 
 /// The adaptive frontier search engine.
@@ -754,12 +1246,18 @@ impl Frontier {
         F: ScenarioFactory + Sync,
     {
         let points = spec.points();
-        let mut searches: Vec<PointSearch> =
-            points.iter().map(|&p| PointSearch::new(spec, p)).collect::<Result<_, _>>()?;
+        let ensemble = spec.seeds.len() > 1;
+        let mut searches: Vec<PointSearch> = points
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| PointSearch::new(spec, i, p))
+            .collect::<Result<_, _>>()?;
 
         // Replay checkpointed probes: bisection is deterministic in the
         // verdict sequence, so the brackets land exactly where the killed
-        // run left them.
+        // run left them. Waiting continuation points activate on their
+        // first replayed probe — activation is a pure function of the
+        // predecessor's final state, so it needs no record of its own.
         let mut emitted = 0;
         if let Some(ck) = checkpoint.as_deref_mut() {
             if ck.points() != searches.len() {
@@ -769,11 +1267,42 @@ impl Frontier {
                     searches.len()
                 ));
             }
-            for &(p, v) in ck.probes() {
-                let search = searches
-                    .get_mut(p)
-                    .ok_or_else(|| format!("checkpoint records out-of-range map point {p}"))?;
-                search.apply(v, spec.tol)?;
+            for rec in ck.probes() {
+                let p = rec.point;
+                if p >= searches.len() {
+                    return Err(format!("checkpoint records out-of-range map point {p}"));
+                }
+                if searches[p].phase == Phase::Waiting {
+                    let pred = searches[p].waiting_on.expect("waiting points have a predecessor");
+                    let Phase::Done(status) = searches[pred].phase else {
+                        return Err(format!(
+                            "checkpoint probes map point {p} before its predecessor finished"
+                        ));
+                    };
+                    let (pred_lo, pred_hi) = (searches[pred].lo, searches[pred].hi);
+                    searches[p].activate(status, pred_lo, pred_hi);
+                }
+                match (ensemble, rec.lanes) {
+                    (true, Some((diverging, lanes))) => {
+                        searches[p].apply_probe(rec.verdict, Some((diverging, lanes)), spec.tol)?
+                    }
+                    (true, None) => {
+                        return Err(
+                            "checkpoint predates verdict-flip bands (its probe lines carry no \
+                             lane tallies) and cannot replay a seed-ensemble spec; delete it and \
+                             restart the map"
+                                .into(),
+                        )
+                    }
+                    (false, None) => searches[p].apply(rec.verdict, spec.tol)?,
+                    (false, Some(_)) => {
+                        return Err(
+                            "checkpoint carries ensemble lane tallies but the spec has no seed \
+                             ensemble; delete it and restart the map"
+                                .into(),
+                        )
+                    }
+                }
             }
             emitted = ck.rows_written();
             if searches.iter().take(emitted).any(|s| !s.done()) {
@@ -787,13 +1316,27 @@ impl Frontier {
             probes_run: 0,
             waves: 0,
             unclean_probes: 0,
+            escalated_probes: 0,
         };
         loop {
+            // Activate continuation points whose predecessor finished —
+            // the warm bracket depends only on that point's final state,
+            // never on wave or thread scheduling.
+            for i in 0..searches.len() {
+                if searches[i].phase == Phase::Waiting {
+                    let pred = searches[i].waiting_on.expect("waiting points have a predecessor");
+                    if let Phase::Done(status) = searches[pred].phase {
+                        let (pred_lo, pred_hi) = (searches[pred].lo, searches[pred].hi);
+                        searches[i].activate(status, pred_lo, pred_hi);
+                    }
+                }
+            }
+
             // Emit rows in map order as soon as every earlier point is out
             // of the way — resumed and uninterrupted runs write identical
             // bytes because this cursor never skips ahead.
             while emitted < searches.len() && searches[emitted].done() {
-                let row = searches[emitted].row(emitted, spec.axis);
+                let row = searches[emitted].row(emitted);
                 sink.accept(&row)?;
                 if let Some(ck) = checkpoint.as_deref_mut() {
                     sink.sync()?;
@@ -803,9 +1346,16 @@ impl Frontier {
                 summary.completed = emitted;
             }
 
-            let wave: Vec<usize> = (0..searches.len()).filter(|&i| !searches[i].done()).collect();
-            if wave.is_empty() {
+            if searches.iter().all(|s| s.done()) {
                 break;
+            }
+            let wave: Vec<usize> =
+                (0..searches.len()).filter(|&i| searches[i].pending.is_some()).collect();
+            if wave.is_empty() {
+                // Unreachable by construction: a continuation point's
+                // predecessor always precedes it, so some probe is always
+                // runnable while any point is unfinished.
+                return Err("frontier stalled: unfinished points but no runnable probes".into());
             }
             if let Some(max) = self.max_waves {
                 if summary.waves >= max {
@@ -815,7 +1365,7 @@ impl Frontier {
 
             let mut specs: Vec<ScenarioSpec> = wave
                 .iter()
-                .map(|&i| searches[i].probe_spec(spec.axis).expect("wave points are unfinished"))
+                .map(|&i| searches[i].probe_spec().expect("wave points have a pending probe"))
                 .collect();
             if let [seed] = spec.seeds[..] {
                 // A one-seed ensemble is the ordinary path with the
@@ -824,34 +1374,53 @@ impl Frontier {
                     s.seed = seed;
                 }
             }
-            let mut verdicts: Vec<Option<Verdict>> = vec![None; wave.len()];
+            let mut verdicts: Vec<WaveVerdict> = vec![None; wave.len()];
             let mut unclean = 0usize;
-            if spec.seeds.len() > 1 {
+            if ensemble {
                 // Seed-ensemble probes: each wave point runs all seeds as
                 // one lockstep batch (lane i exact vs a solo probe with
-                // seed i) and counts as above the boundary when a strict
-                // majority of lanes diverge. One checkpoint line per
-                // probe, exactly like the solo path, so checkpoints stay
-                // format-compatible.
-                for (idx, probe) in specs.iter().enumerate() {
-                    let reports = crate::campaign::execute_batch(probe, &spec.seeds, factory)
-                        .map_err(|e| format!("frontier probe {}: {e}", probe.display_label()))?;
-                    if reports.iter().any(|r| !r.clean()) {
+                // seed i), escalating per the spec, and counts as above
+                // the boundary on the strict-majority verdict. Probes run
+                // in parallel but their tallies are recorded and applied
+                // in wave order, so the checkpoint and the bisection see
+                // the same sequence at any thread count.
+                let slots: Vec<Mutex<Option<Result<ProbeOutcome, String>>>> =
+                    specs.iter().map(|_| Mutex::new(None)).collect();
+                let next = AtomicUsize::new(0);
+                let workers = self.threads.min(specs.len()).max(1);
+                std::thread::scope(|scope| {
+                    for _ in 0..workers {
+                        scope.spawn(|| loop {
+                            let idx = next.fetch_add(1, Ordering::Relaxed);
+                            if idx >= specs.len() {
+                                break;
+                            }
+                            let out = run_escalating_probe(
+                                &specs[idx],
+                                &spec.seeds,
+                                spec.escalate,
+                                factory,
+                            );
+                            *slots[idx].lock().expect("probe slot poisoned") = Some(out);
+                        });
+                    }
+                });
+                for (idx, slot) in slots.into_iter().enumerate() {
+                    let out = slot
+                        .into_inner()
+                        .map_err(|_| "a probe worker panicked".to_string())?
+                        .ok_or("a probe completed without a verdict")??;
+                    if out.unclean {
                         unclean += 1;
                     }
-                    let diverging = reports
-                        .iter()
-                        .filter(|r| r.stability.verdict == Verdict::Diverging)
-                        .count();
-                    let verdict = if diverging * 2 > reports.len() {
-                        Verdict::Diverging
-                    } else {
-                        Verdict::Stable
-                    };
-                    if let Some(ck) = checkpoint.as_deref_mut() {
-                        ck.record_probe(wave[idx], verdict)?;
+                    if out.lanes > spec.seeds.len() {
+                        summary.escalated_probes += 1;
                     }
-                    verdicts[idx] = Some(verdict);
+                    let verdict = majority_verdict(out.diverging, out.lanes);
+                    if let Some(ck) = checkpoint.as_deref_mut() {
+                        ck.record_ensemble_probe(wave[idx], verdict, out.diverging, out.lanes)?;
+                    }
+                    verdicts[idx] = Some((verdict, Some((out.diverging, out.lanes))));
                 }
             } else {
                 let wave = &wave;
@@ -875,7 +1444,7 @@ impl Frontier {
                     if let Some(ck) = ck.as_deref_mut() {
                         ck.record_probe(wave[idx], verdict)?;
                     }
-                    verdicts[idx] = Some(verdict);
+                    verdicts[idx] = Some((verdict, None));
                     Ok(())
                 });
                 Campaign::new().threads(self.threads).detail(MetricsDetail::Slim).run_into(
@@ -885,8 +1454,8 @@ impl Frontier {
                 )?;
             }
             for (&i, verdict) in wave.iter().zip(&verdicts) {
-                let verdict = verdict.ok_or("a probe completed without a verdict")?;
-                searches[i].apply(verdict, spec.tol)?;
+                let (verdict, lanes) = verdict.ok_or("a probe completed without a verdict")?;
+                searches[i].apply_probe(verdict, lanes, spec.tol)?;
                 summary.probes_run += 1;
             }
             summary.unclean_probes += unclean;
@@ -923,7 +1492,7 @@ mod tests {
             r#"{"template": {"algorithm": "a", "adversary": "b"}, "axis": "seed"}"#,
         )
         .unwrap_err();
-        assert!(err.contains("rho or beta"), "{err}");
+        assert!(err.contains("rho, beta, k, or ell"), "{err}");
         let err = FrontierSpec::parse(
             r#"{"template": {"algorithm": "a", "adversary": "b"}, "map": {"seed": [1]}}"#,
         )
@@ -991,7 +1560,7 @@ mod tests {
                 "lo": "0", "hi": "1/2", "tol": 0.03125}"#,
         )
         .unwrap();
-        let mut s = PointSearch::new(&spec, MapPoint { n: 9, k: 3 }).unwrap();
+        let mut s = PointSearch::new(&spec, 0, MapPoint { n: 9, k: 3 }).unwrap();
         let boundary = Rate::new(1, 5);
         let mut guard = 0;
         while let Some(rate) = s.pending {
@@ -1000,7 +1569,7 @@ mod tests {
             guard += 1;
             assert!(guard < 32, "search must terminate");
         }
-        let row = s.row(0, SearchAxis::Rho);
+        let row = s.row(0);
         assert_eq!(row.status, Status::Converged);
         assert!(width(row.lo, row.hi) <= spec.tol);
         // the bracket straddles the oracle boundary
@@ -1018,15 +1587,15 @@ mod tests {
         )
         .unwrap();
         // boundary below lo: first probe diverges
-        let mut s = PointSearch::new(&spec, MapPoint { n: 9, k: 3 }).unwrap();
+        let mut s = PointSearch::new(&spec, 0, MapPoint { n: 9, k: 3 }).unwrap();
         s.apply(Verdict::Diverging, spec.tol).unwrap();
-        assert_eq!(s.row(0, SearchAxis::Rho).status, Status::AllDiverging);
-        assert_eq!(s.row(0, SearchAxis::Rho).probes, 1);
+        assert_eq!(s.row(0).status, Status::AllDiverging);
+        assert_eq!(s.row(0).probes, 1);
         // boundary above hi: lo stable, hi stable
-        let mut s = PointSearch::new(&spec, MapPoint { n: 9, k: 3 }).unwrap();
+        let mut s = PointSearch::new(&spec, 0, MapPoint { n: 9, k: 3 }).unwrap();
         s.apply(Verdict::Stable, spec.tol).unwrap();
         s.apply(Verdict::Inconclusive, spec.tol).unwrap(); // counts as stable
-        assert_eq!(s.row(0, SearchAxis::Rho).status, Status::AllStable);
+        assert_eq!(s.row(0).status, Status::AllStable);
     }
 
     #[test]
@@ -1039,17 +1608,17 @@ mod tests {
                 "rounds": 100}, "lo": "1/4", "hi": "26/100", "tol": 0.5}"#,
         )
         .unwrap();
-        let mut s = PointSearch::new(&spec, MapPoint { n: 9, k: 3 }).unwrap();
+        let mut s = PointSearch::new(&spec, 0, MapPoint { n: 9, k: 3 }).unwrap();
         assert!(!s.done(), "narrow bracket must not be pre-converged");
         s.apply(Verdict::Stable, spec.tol).unwrap();
         s.apply(Verdict::Diverging, spec.tol).unwrap();
-        let row = s.row(0, SearchAxis::Rho);
+        let row = s.row(0);
         assert_eq!((row.status, row.probes), (Status::Converged, 2));
         // ... and the boundary escaping such a bracket is reported honestly
-        let mut s = PointSearch::new(&spec, MapPoint { n: 9, k: 3 }).unwrap();
+        let mut s = PointSearch::new(&spec, 0, MapPoint { n: 9, k: 3 }).unwrap();
         s.apply(Verdict::Stable, spec.tol).unwrap();
         s.apply(Verdict::Stable, spec.tol).unwrap();
-        assert_eq!(s.row(0, SearchAxis::Rho).status, Status::AllStable);
+        assert_eq!(s.row(0).status, Status::AllStable);
     }
 
     #[test]
@@ -1059,7 +1628,7 @@ mod tests {
                 "lo": "1/2", "hi": "1/2"}"#,
         )
         .unwrap();
-        let err = PointSearch::new(&spec, MapPoint { n: 9, k: 3 }).unwrap_err();
+        let err = PointSearch::new(&spec, 0, MapPoint { n: 9, k: 3 }).unwrap_err();
         assert!(err.contains("bracket is empty"), "{err}");
 
         let spec = FrontierSpec::parse(
@@ -1068,13 +1637,29 @@ mod tests {
         )
         .unwrap();
         // n=4, k=3: 2k/n = 3/2 > 1 — rho brackets must stay in [0, 1]
-        let err = PointSearch::new(&spec, MapPoint { n: 4, k: 3 }).unwrap_err();
+        let err = PointSearch::new(&spec, 0, MapPoint { n: 4, k: 3 }).unwrap_err();
         assert!(err.contains("within [0, 1]"), "{err}");
+
+        // integer axes reject fractional and degenerate endpoints
+        let spec = FrontierSpec::parse(
+            r#"{"template": {"algorithm": "a", "adversary": "b"},
+                "axis": "k", "lo": "1/2", "hi": "6"}"#,
+        )
+        .unwrap();
+        let err = PointSearch::new(&spec, 0, MapPoint { n: 9, k: 3 }).unwrap_err();
+        assert!(err.contains("must be integers"), "{err}");
+        let spec = FrontierSpec::parse(
+            r#"{"template": {"algorithm": "a", "adversary": "b"},
+                "axis": "ell", "lo": "1", "hi": "6"}"#,
+        )
+        .unwrap();
+        let err = PointSearch::new(&spec, 0, MapPoint { n: 9, k: 3 }).unwrap_err();
+        assert!(err.contains("start at 2"), "{err}");
     }
 
     #[test]
     fn csv_row_is_fixed_format() {
-        let row = MapRow {
+        let mut row = MapRow {
             index: 0,
             point: MapPoint { n: 9, k: 3 },
             axis: SearchAxis::Rho,
@@ -1082,10 +1667,237 @@ mod tests {
             hi: Rate::new(7, 32),
             probes: 7,
             status: Status::Converged,
+            band: None,
         };
         assert_eq!(csv_row(&row), "9,3,rho,3/16,7/32,0.203125,7,converged");
         let json = row_json(&row).render();
         assert!(json.starts_with("{\"index\":0,\"n\":9,"), "{json}");
         assert!(json.contains("\"status\":\"converged\""), "{json}");
+        assert!(!json.contains("band_lo"), "{json}");
+
+        // band columns append after the legacy columns, which stay
+        // byte-for-byte — a band row minus its last three fields is a
+        // legacy row
+        row.band = Some(BandStats { lo: 0.1875, hi: 0.21875, agreement: 0.9, max_lanes: 7 });
+        let line = csv_row(&row);
+        assert_eq!(line, "9,3,rho,3/16,7/32,0.203125,7,converged,0.187500,0.218750,0.900000");
+        assert!(line.starts_with("9,3,rho,3/16,7/32,0.203125,7,converged"));
+        let json = row_json(&row).render();
+        assert!(json.contains("\"band_lo\":0.1875"), "{json}");
+        assert!(json.contains("\"agreement\":0.9"), "{json}");
+    }
+
+    #[test]
+    fn strict_majority_ties_are_diverging() {
+        // Satellite: the tie rule is pinned — half the lanes blowing up
+        // is not stability.
+        assert_eq!(majority_verdict(0, 4), Verdict::Stable);
+        assert_eq!(majority_verdict(1, 4), Verdict::Stable);
+        assert_eq!(majority_verdict(2, 4), Verdict::Diverging);
+        assert_eq!(majority_verdict(3, 4), Verdict::Diverging);
+        assert_eq!(majority_verdict(1, 2), Verdict::Diverging);
+        assert_eq!(majority_verdict(2, 5), Verdict::Stable);
+        assert_eq!(majority_verdict(3, 5), Verdict::Diverging);
+        assert_eq!(majority_verdict(0, 0), Verdict::Stable);
+    }
+
+    #[test]
+    fn escalate_and_continuation_parse_and_validate() {
+        let base = r#"{"template": {"algorithm": "a", "adversary": "b"}, "#;
+        let spec = FrontierSpec::parse(&format!(
+            "{base}\"seeds\": [1, 2, 3], \"escalate\": {{\"max_seeds\": 9, \"step\": 2}}, \
+             \"continuation\": \"n\"}}"
+        ))
+        .unwrap();
+        assert_eq!(spec.escalate, Some(EscalateSpec { max_seeds: 9, step: 2 }));
+        assert_eq!(spec.continuation, Some(Continuation::N));
+        // step defaults to 1
+        let spec = FrontierSpec::parse(&format!(
+            "{base}\"seeds\": [1, 2], \"escalate\": {{\"max_seeds\": 4}}}}"
+        ))
+        .unwrap();
+        assert_eq!(spec.escalate, Some(EscalateSpec { max_seeds: 4, step: 1 }));
+        // escalation demands an ensemble, a sane cap, and a positive step
+        let err = FrontierSpec::parse(&format!("{base}\"escalate\": {{\"max_seeds\": 4}}}}"))
+            .unwrap_err();
+        assert!(err.contains("at least two seeds"), "{err}");
+        let err = FrontierSpec::parse(&format!(
+            "{base}\"seeds\": [1, 2, 3], \"escalate\": {{\"max_seeds\": 2}}}}"
+        ))
+        .unwrap_err();
+        assert!(err.contains("below the base ensemble"), "{err}");
+        let err = FrontierSpec::parse(&format!(
+            "{base}\"seeds\": [1, 2], \"escalate\": {{\"max_seeds\": 4, \"step\": 0}}}}"
+        ))
+        .unwrap_err();
+        assert!(err.contains("step must be positive"), "{err}");
+        let err = FrontierSpec::parse(&format!("{base}\"continuation\": \"k\"}}")).unwrap_err();
+        assert!(err.contains("must be \"n\""), "{err}");
+        // ... and the new keys are digest-bound while legacy specs digest
+        // exactly as they did before the keys existed
+        let legacy = r#"{"template": {"algorithm": "a", "adversary": "b"}}"#;
+        let with = format!("{base}\"seeds\": [1, 2], \"escalate\": {{\"max_seeds\": 4}}}}");
+        assert_ne!(
+            FrontierSpec::parse(legacy).unwrap().digest("csv"),
+            FrontierSpec::parse(&with).unwrap().digest("csv")
+        );
+        let rendered = FrontierSpec::parse(legacy).unwrap().to_json().render();
+        assert!(!rendered.contains("escalate") && !rendered.contains("continuation"), "{rendered}");
+    }
+
+    #[test]
+    fn integer_axis_search_brackets_a_known_cap_boundary() {
+        // Oracle on the k axis: stable iff k >= 6 (inverted orientation —
+        // small caps diverge). Bracket [2, 16], tol below 1 clamps to 1.
+        let spec = FrontierSpec::parse(
+            r#"{"template": {"algorithm": "a", "adversary": "b", "n": 20, "k": 3,
+                "rounds": 100},
+                "axis": "k", "lo": "2", "hi": "16", "tol": 0.5}"#,
+        )
+        .unwrap();
+        let mut s = PointSearch::new(&spec, 0, MapPoint { n: 20, k: 3 }).unwrap();
+        let mut guard = 0;
+        while let Some(rate) = s.pending {
+            assert_eq!(rate.den(), 1, "integer axis probes integers");
+            let k = rate.num();
+            let spec_k = s.probe_spec().unwrap().k;
+            assert_eq!(spec_k, k as usize, "k axis probes the cap itself");
+            let verdict = if k >= 6 { Verdict::Stable } else { Verdict::Diverging };
+            s.apply(verdict, spec.tol).unwrap();
+            guard += 1;
+            assert!(guard < 16, "integer search must terminate");
+        }
+        let row = s.row(0);
+        assert_eq!(row.status, Status::Converged);
+        // the bracket straddles the flip: lo = last diverging k, hi =
+        // first stable k
+        assert_eq!((row.lo, row.hi), (Rate::integer(5), Rate::integer(6)));
+
+        // degenerate orientations report honestly under the inversion:
+        // stable everywhere (even at the smallest cap) is all-stable...
+        let mut s = PointSearch::new(&spec, 0, MapPoint { n: 20, k: 3 }).unwrap();
+        s.apply(Verdict::Stable, spec.tol).unwrap();
+        assert_eq!(s.row(0).status, Status::AllStable);
+        // ... and diverging even at the largest cap is all-diverging
+        let mut s = PointSearch::new(&spec, 0, MapPoint { n: 20, k: 3 }).unwrap();
+        s.apply(Verdict::Diverging, spec.tol).unwrap();
+        s.apply(Verdict::Diverging, spec.tol).unwrap();
+        assert_eq!(s.row(0).status, Status::AllDiverging);
+    }
+
+    #[test]
+    fn ell_axis_probes_realise_the_nearest_cap() {
+        let spec = FrontierSpec::parse(
+            r#"{"template": {"algorithm": "a", "adversary": "b", "n": 9, "k": 3,
+                "rounds": 100},
+                "axis": "ell", "lo": "2", "hi": "8", "tol": 1}"#,
+        )
+        .unwrap();
+        let s = PointSearch::new(&spec, 0, MapPoint { n: 9, k: 3 }).unwrap();
+        // first probe is ell = 2 -> k = ceil(9/2) + 1 = 6
+        assert_eq!(s.pending, Some(Rate::integer(2)));
+        assert_eq!(s.probe_spec().unwrap().k, 6);
+        // ell diverges high like rho: a diverging lo finishes all-diverging
+        let mut s = s;
+        s.apply(Verdict::Diverging, spec.tol).unwrap();
+        assert_eq!(s.row(0).status, Status::AllDiverging);
+    }
+
+    #[test]
+    fn continuation_points_wait_then_warm_start_from_their_predecessor() {
+        let spec = FrontierSpec::parse(
+            r#"{"template": {"algorithm": "a", "adversary": "b", "rounds": 100},
+                "lo": "0", "hi": "1", "tol": 0.01, "continuation": "n",
+                "map": {"n": [9, 10], "k": [3]}}"#,
+        )
+        .unwrap();
+        let first = PointSearch::new(&spec, 0, MapPoint { n: 9, k: 3 }).unwrap();
+        assert_eq!(first.phase, Phase::ProbeLo, "the first n searches its full bracket");
+        let mut second = PointSearch::new(&spec, 1, MapPoint { n: 10, k: 3 }).unwrap();
+        assert_eq!(second.phase, Phase::Waiting);
+        assert_eq!(second.waiting_on, Some(0));
+        assert_eq!(second.pending, None, "waiting points have no runnable probe");
+        assert!(second.apply(Verdict::Stable, spec.tol).is_err(), "probing while waiting is a bug");
+
+        // predecessor converged on [3/16, 7/32] (width 1/32): the warm
+        // bracket widens it by 1/32 on each side
+        second.activate(Status::Converged, Rate::new(3, 16), Rate::new(7, 32));
+        assert_eq!(second.phase, Phase::ProbeLo);
+        assert_eq!((second.lo, second.hi), (Rate::new(5, 32), Rate::new(1, 4)));
+        assert_eq!(second.pending, Some(Rate::new(5, 32)));
+
+        // boundary drifted below the warm bracket: the warm lo diverges,
+        // becomes the new hi, and the search falls back to the full lo
+        let mut s = PointSearch::new(&spec, 1, MapPoint { n: 10, k: 3 }).unwrap();
+        s.activate(Status::Converged, Rate::new(3, 16), Rate::new(7, 32));
+        let oracle = Rate::new(1, 10); // below warm lo 5/32
+        let mut guard = 0;
+        while let Some(rate) = s.pending {
+            let verdict = if oracle.lt(&rate) { Verdict::Diverging } else { Verdict::Stable };
+            s.apply(verdict, spec.tol).unwrap();
+            guard += 1;
+            assert!(guard < 32);
+        }
+        let row = s.row(1);
+        assert_eq!(row.status, Status::Converged, "escape must re-bracket, not misreport");
+        assert!(!oracle.lt(&row.lo), "lo {} <= boundary", row.lo);
+        assert!(!row.hi.lt(&oracle), "hi {} >= boundary", row.hi);
+        assert!(width(row.lo, row.hi) <= spec.tol);
+
+        // boundary drifted above the warm bracket: warm hi is stable,
+        // becomes the new lo, full hi re-probed
+        let mut s = PointSearch::new(&spec, 1, MapPoint { n: 10, k: 3 }).unwrap();
+        s.activate(Status::Converged, Rate::new(3, 16), Rate::new(7, 32));
+        let oracle = Rate::new(3, 4); // above warm hi 1/4
+        let mut guard = 0;
+        while let Some(rate) = s.pending {
+            let verdict = if oracle.lt(&rate) { Verdict::Diverging } else { Verdict::Stable };
+            s.apply(verdict, spec.tol).unwrap();
+            guard += 1;
+            assert!(guard < 32);
+        }
+        let row = s.row(1);
+        assert_eq!(row.status, Status::Converged);
+        assert!(!oracle.lt(&row.lo), "lo {} <= boundary", row.lo);
+        assert!(!row.hi.lt(&oracle), "hi {} >= boundary", row.hi);
+        assert!(width(row.lo, row.hi) <= spec.tol);
+
+        // a non-converged predecessor contributes no boundary: full bracket
+        let mut s = PointSearch::new(&spec, 1, MapPoint { n: 10, k: 3 }).unwrap();
+        s.activate(Status::AllStable, Rate::new(3, 16), Rate::new(7, 32));
+        assert_eq!((s.lo, s.hi), (Rate::zero(), Rate::one()));
+    }
+
+    #[test]
+    fn ensemble_tally_bands_and_agreement() {
+        // unanimous probes: degenerate band, agreement exactly 1
+        let mut t = EnsembleTally::default();
+        t.record(Rate::new(1, 4), 0, 5);
+        t.record(Rate::new(1, 2), 5, 5);
+        let band = t.band(0.375);
+        assert_eq!((band.lo, band.hi), (0.375, 0.375));
+        assert_eq!(band.agreement, 1.0);
+        assert_eq!(band.max_lanes, 5);
+
+        // a mixed probe opens the band and dents agreement
+        let mut t = EnsembleTally::default();
+        t.record(Rate::new(1, 4), 0, 5); // unanimous stable
+        t.record(Rate::new(3, 8), 2, 5); // mixed, majority stable
+        t.record(Rate::new(1, 2), 5, 5); // unanimous diverging
+        let band = t.band(0.4);
+        assert_eq!((band.lo, band.hi), (0.375, 0.4), "mixed span clamped to include boundary");
+        assert!(band.agreement < 1.0);
+        assert_eq!(band.agreement, 13.0 / 15.0);
+
+        // the band always contains the boundary, even when every mixed
+        // probe sits on one side of it
+        let band = t.band(0.3);
+        assert_eq!((band.lo, band.hi), (0.3, 0.375));
+
+        // escalation widens max_lanes and the agreement denominator
+        let mut t = EnsembleTally::default();
+        t.record(Rate::new(3, 8), 4, 9); // escalated final batch
+        assert_eq!(t.band(0.375).max_lanes, 9);
+        assert_eq!(t.band(0.375).agreement, 5.0 / 9.0);
     }
 }

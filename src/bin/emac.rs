@@ -6,8 +6,8 @@
 //! emac campaign spec.json [--threads N] [--out DIR]
 //!               [--format csv|jsonl] [--detail full|slim] [--resume] [--limit M]
 //! emac campaign --example
-//! emac frontier template.json [--axis rho|beta] [--tol T] [--threads N]
-//!               [--out DIR] [--format csv|jsonl] [--resume] [--max-waves M]
+//! emac frontier template.json [--axis rho|beta|k|ell] [--tol T] [--escalate S[:D]]
+//!               [--threads N] [--out DIR] [--format csv|jsonl] [--resume] [--max-waves M]
 //! emac frontier --example
 //! emac list
 //! ```
@@ -34,7 +34,8 @@ use emac::core::campaign::{
     CsvStreamSink, DurableFile, JsonLinesSink, ResultSink, ScenarioSpec, TallySink,
 };
 use emac::core::frontier::{
-    CsvMapSink, Frontier, FrontierCheckpoint, FrontierSpec, JsonMapSink, MapSink, SearchAxis,
+    CsvMapSink, EscalateSpec, Frontier, FrontierCheckpoint, FrontierSpec, JsonMapSink, MapSink,
+    SearchAxis,
 };
 use emac::core::prelude::*;
 use emac::registry::{Registry, ADVERSARIES, ALGORITHMS};
@@ -64,8 +65,9 @@ fn usage() {
          emac campaign <spec.json> [--threads N] [--out DIR]\n           \
          [--format csv|jsonl] [--detail full|slim] [--resume] [--limit M]\n  \
          emac campaign --example   # print a commented example spec\n  \
-         emac frontier <template.json> [--axis rho|beta] [--tol T] [--threads N]\n           \
-         [--out DIR] [--format csv|jsonl] [--resume] [--max-waves M]\n  \
+         emac frontier <template.json> [--axis rho|beta|k|ell] [--tol T]\n           \
+         [--escalate S[:D]] [--threads N] [--out DIR] [--format csv|jsonl]\n           \
+         [--resume] [--max-waves M]\n  \
          emac frontier --example   # print an example template\n  \
          emac list"
     );
@@ -376,6 +378,9 @@ fn frontier(args: &[String]) -> ExitCode {
     if let Some(tol) = opts.tol {
         spec.tol = tol;
     }
+    if let Some((max_seeds, step)) = opts.escalate {
+        spec.escalate = Some(EscalateSpec { max_seeds, step });
+    }
     if let Err(e) = spec.validate() {
         eprintln!("error: {e}");
         return ExitCode::from(2);
@@ -479,8 +484,13 @@ fn frontier(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let escalated = if summary.escalated_probes > 0 {
+        format!(", {} escalated", summary.escalated_probes)
+    } else {
+        String::new()
+    };
     println!(
-        "{} of {} map point(s) complete in {} ({} probe(s) over {} wave(s) this run)",
+        "{} of {} map point(s) complete in {} ({} probe(s) over {} wave(s) this run{escalated})",
         summary.completed,
         summary.points,
         out_path.display(),

@@ -143,11 +143,14 @@ pub struct FrontierOpts {
     pub example: bool,
     /// Path to the JSON frontier template.
     pub spec_path: String,
-    /// Search-axis override (`--axis rho|beta`); `None` keeps the
+    /// Search-axis override (`--axis rho|beta|k|ell`); `None` keeps the
     /// template's axis.
     pub axis: Option<String>,
     /// Tolerance override (`--tol`); `None` keeps the template's.
     pub tol: Option<f64>,
+    /// Seed-escalation override (`--escalate MAX[:STEP]`) as
+    /// `(max_seeds, step)`; `None` keeps the template's rule.
+    pub escalate: Option<(usize, usize)>,
     /// Worker count override.
     pub threads: Option<usize>,
     /// Output directory (default `results/frontier`).
@@ -168,6 +171,7 @@ pub fn parse_frontier(args: &[String]) -> Result<FrontierOpts, String> {
         spec_path: String::new(),
         axis: None,
         tol: None,
+        escalate: None,
         threads: None,
         out_dir: "results/frontier".into(),
         format: FrontierFormat::Csv,
@@ -182,6 +186,7 @@ pub fn parse_frontier(args: &[String]) -> Result<FrontierOpts, String> {
             "--example" => o.example = true,
             "--axis" => o.axis = Some(value()?.to_string()),
             "--tol" => o.tol = Some(value()?.parse().map_err(|e| format!("--tol: {e}"))?),
+            "--escalate" => o.escalate = Some(parse_escalate(value()?)?),
             "--threads" => {
                 o.threads = Some(value()?.parse().map_err(|e| format!("--threads: {e}"))?)
             }
@@ -354,6 +359,20 @@ pub fn parse_seeds(s: &str) -> Result<Vec<u64>, String> {
     Ok((0..count).collect())
 }
 
+/// Parse `--escalate MAX[:STEP]` into `(max_seeds, step)`; the step
+/// defaults to 1. Validation against the template's seed count happens in
+/// [`FrontierSpec::validate`](emac_core::frontier::FrontierSpec::validate).
+pub fn parse_escalate(s: &str) -> Result<(usize, usize), String> {
+    let (max, step) = match s.split_once(':') {
+        Some((max, step)) => {
+            (max, step.trim().parse().map_err(|e| format!("--escalate step {step:?}: {e}"))?)
+        }
+        None => (s, 1),
+    };
+    let max = max.trim().parse().map_err(|e| format!("--escalate {max:?}: {e}"))?;
+    Ok((max, step))
+}
+
 /// Parse a rate given as `P/Q`, `1`, or a decimal in `[0, 1]`.
 pub fn parse_rate(s: &str) -> Result<Rate, String> {
     let rate: Rate = s.parse()?;
@@ -509,7 +528,7 @@ mod tests {
 
         let o = parse_frontier(&argv("map.json")).unwrap();
         assert_eq!(o.format, FrontierFormat::Csv);
-        assert!(o.axis.is_none() && o.tol.is_none() && !o.resume);
+        assert!(o.axis.is_none() && o.tol.is_none() && o.escalate.is_none() && !o.resume);
         assert!(parse_frontier(&argv("--example")).unwrap().example);
     }
 
@@ -521,6 +540,17 @@ mod tests {
         assert!(parse_frontier(&argv("map.json --max-waves 0")).unwrap_err().contains("positive"));
         assert!(parse_frontier(&argv("map.json --threads 0")).unwrap_err().contains("positive"));
         assert!(parse_frontier(&argv("a.json b.json")).is_err(), "two positionals");
+    }
+
+    #[test]
+    fn escalate_forms() {
+        let o = parse_frontier(&argv("map.json --escalate 9")).unwrap();
+        assert_eq!(o.escalate, Some((9, 1)), "step defaults to 1");
+        let o = parse_frontier(&argv("map.json --escalate 9:2")).unwrap();
+        assert_eq!(o.escalate, Some((9, 2)));
+        assert!(parse_frontier(&argv("map.json --escalate x")).is_err());
+        assert!(parse_frontier(&argv("map.json --escalate 9:x")).is_err());
+        assert!(parse_frontier(&argv("map.json --escalate")).is_err(), "missing value");
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub const ADVERSARIES: &[(&str, &str)] = &[
     ("round-robin", "rotating sources and destinations"),
     ("bursty", "periodic full-budget bursts into one station (target, period)"),
     ("spread-from-one", "one source station, rotating destinations (target)"),
+    ("spread-from-one-rand", "one source station, seeded random destinations (target)"),
     ("sleeper", "adaptive: targets whoever sleeps (Theorem 2)"),
     ("lemma1", "adaptive: the Lemma 1 construction"),
     ("least-on", "schedule-aware: floods the least-on station (Theorem 6; horizon)"),
@@ -109,6 +110,7 @@ impl Registry {
             "round-robin" => Box::new(RoundRobinLoad::new()),
             "bursty" => Box::new(Bursty::new(target, spec.period.unwrap_or(64))),
             "spread-from-one" => Box::new(SpreadFromOne::new(target)),
+            "spread-from-one-rand" => Box::new(SpreadFromOne::seeded(target, spec.seed)),
             "sleeper" => Box::new(SleeperTargeting::new()),
             "lemma1" => Box::new(Lemma1Adversary::new()),
             "least-on" => {

@@ -1,0 +1,118 @@
+//! Property-style sampled checks on band maps (house stand-in for a
+//! proptest dependency: a pinned xorshift stream drives the sampling,
+//! so every run explores the same spec family deterministically).
+//!
+//! Invariants, over randomly drawn small ensemble maps:
+//!
+//! * `band_lo <= boundary <= band_hi` on every emitted row;
+//! * `agreement == 1.0` exactly when the band is degenerate
+//!   (`band_lo == band_hi`) — mixed probes and imperfect agreement
+//!   are the same event;
+//! * escalation never exceeds `max_seeds` lanes on any probe, and
+//!   without an `"escalate"` clause every probe runs exactly
+//!   `seeds.len()` lanes.
+
+use emac::registry::Registry;
+use emac_core::frontier::{Frontier, FrontierSpec, MemoryMapSink};
+
+/// xorshift64: tiny, seedable, good enough to scatter spec parameters.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn pick<T: Copy>(&mut self, xs: &[T]) -> T {
+        xs[(self.next() % xs.len() as u64) as usize]
+    }
+}
+
+fn sample_spec(rng: &mut Rng) -> FrontierSpec {
+    let n = rng.pick(&[6usize, 9, 12]);
+    let k = rng.pick(&[3usize, 4]);
+    let rounds = rng.pick(&[1000usize, 2000, 4000]);
+    let tol = rng.pick(&["0.03125", "0.015625"]);
+    // 2..=5 distinct lane seeds: the uniform adversary is seed-driven,
+    // so lanes genuinely diverge near noisy thresholds.
+    let lane_count = 2 + (rng.next() % 4) as usize;
+    let seeds: Vec<String> = (0..lane_count).map(|_| (rng.next() % 1000).to_string()).collect();
+    let escalate = if rng.next().is_multiple_of(2) {
+        let max_seeds = lane_count + 1 + (rng.next() % 3) as usize;
+        let step = 1 + (rng.next() % 2) as usize;
+        format!(",\n  \"escalate\": {{\"max_seeds\": {max_seeds}, \"step\": {step}}}")
+    } else {
+        String::new()
+    };
+    let json = format!(
+        r#"{{
+  "template": {{"algorithm": "k-cycle", "adversary": "uniform",
+               "rounds": {rounds}, "probe_cap": {rounds}}},
+  "axis": "rho",
+  "lo": "0", "hi": "1/2", "tol": {tol},
+  "map": {{"n": [{n}], "k": [{k}]}},
+  "seeds": [{}]{escalate}
+}}"#,
+        seeds.join(", ")
+    );
+    FrontierSpec::parse(&json).unwrap()
+}
+
+#[test]
+fn sampled_band_maps_satisfy_the_band_invariants() {
+    let mut rng = Rng(0x9e3779b97f4a7c15);
+    let mut nonempty_bands = 0usize;
+    let mut escalating_specs = 0usize;
+    for _ in 0..12 {
+        let spec = sample_spec(&mut rng);
+        let max_lanes = spec.escalate.as_ref().map_or(spec.seeds.len(), |e| e.max_seeds);
+        if spec.escalate.is_some() {
+            escalating_specs += 1;
+        }
+        let mut sink = MemoryMapSink::new();
+        let summary =
+            Frontier::new().threads(2).run_into(&spec, &Registry, &mut sink, None).unwrap();
+        assert_eq!(summary.points, summary.completed, "small maps must complete");
+        if spec.escalate.is_none() {
+            assert_eq!(summary.escalated_probes, 0, "no escalate clause, no escalation");
+        }
+        for row in sink.into_rows() {
+            let band = row.band.expect("ensemble maps always attach band stats");
+            let boundary = row.boundary();
+            assert!(
+                band.lo <= boundary && boundary <= band.hi,
+                "band [{}, {}] must bracket boundary {boundary} ({spec:?})",
+                band.lo,
+                band.hi
+            );
+            assert_eq!(
+                band.agreement == 1.0,
+                band.lo == band.hi,
+                "agreement {} vs band [{}, {}]: perfect agreement and a \
+                 degenerate band are the same event",
+                band.agreement,
+                band.lo,
+                band.hi
+            );
+            assert!(band.agreement > 0.5, "majority verdicts bound agreement below by 1/2");
+            assert!(
+                band.max_lanes >= spec.seeds.len() && band.max_lanes <= max_lanes,
+                "lanes {} must stay within [{}, {max_lanes}]",
+                band.max_lanes,
+                spec.seeds.len()
+            );
+            if band.lo < band.hi {
+                nonempty_bands += 1;
+            }
+        }
+    }
+    // The sample must actually exercise both regimes, or the iff-check
+    // above is vacuous.
+    assert!(nonempty_bands > 0, "sampling never produced a disagreeing ensemble");
+    assert!(escalating_specs > 0, "sampling never drew an escalate clause");
+}

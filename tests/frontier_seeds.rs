@@ -43,12 +43,37 @@ fn single_seed_list_is_a_template_seed_override() {
     assert_eq!(run(&spec(None, "5"), 1), run(&spec(Some(5), ""), 1));
 }
 
+/// Strip the three band columns an ensemble map appends (header and
+/// rows), leaving the legacy solo-map byte format.
+fn strip_band(map: &str) -> String {
+    map.lines()
+        .map(|line| {
+            let fields: Vec<&str> = line.split(',').collect();
+            assert_eq!(fields.len(), 11, "ensemble rows carry exactly three extra columns");
+            fields[..8].join(",")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\n"
+}
+
 #[test]
 fn identical_seed_ensemble_collapses_to_the_solo_map() {
     // Template seed defaults to 42; three lanes of seed 42 are three
     // copies of the solo execution, so the majority verdict — and hence
-    // the whole search trajectory and CSV — must match the solo run.
-    assert_eq!(run(&spec(None, "[42, 42, 42]"), 1), run(&spec(None, ""), 1));
+    // the whole search trajectory — must match the solo run. The ensemble
+    // map's band columns append *after* the legacy columns, so stripping
+    // them recovers the solo bytes exactly; the band itself must be
+    // degenerate with agreement exactly 1.
+    let ensemble = run(&spec(None, "[42, 42, 42]"), 1);
+    assert_eq!(strip_band(&ensemble), run(&spec(None, ""), 1));
+    for row in ensemble.lines().skip(1) {
+        let fields: Vec<&str> = row.split(',').collect();
+        let boundary = fields[5];
+        assert_eq!(fields[8], boundary, "band_lo collapses to the boundary");
+        assert_eq!(fields[9], boundary, "band_hi collapses to the boundary");
+        assert_eq!(fields[10], "1.000000", "identical lanes agree exactly");
+    }
 }
 
 #[test]
