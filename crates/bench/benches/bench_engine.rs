@@ -18,7 +18,9 @@ use emac_adversary::UniformRandom;
 use emac_bench::timing::{bench, write_json, BenchResult};
 use emac_broadcast::{build_mbtf, build_of_rrw, build_rrw};
 use emac_core::prelude::*;
-use emac_sim::{BatchSimulator, BuiltAlgorithm, NoInjections, Rate, SimConfig, Simulator};
+use emac_sim::{
+    BatchSimulator, BuiltAlgorithm, FaultSpec, NoInjections, Rate, SimConfig, Simulator,
+};
 
 const ROUNDS: u64 = 50_000;
 const SMOKE_ROUNDS: u64 = 5_000;
@@ -58,6 +60,22 @@ fn sleeping_stations(rounds: u64, results: &mut Vec<BenchResult>) {
         sim.run(rounds);
         assert!(sim.violations().is_clean());
         black_box(sim.metrics().delivered);
+    }));
+    // The jammed twin of kcycle_loaded_n16_k4: the per-round cost of an
+    // armed FaultPlan (one Bernoulli draw plus the jam branch at rate
+    // 1/10). Compare the two to read the fault layer's overhead directly.
+    results.push(bench("kcycle_jammed_n16", rounds, || {
+        let rho = bounds::k_cycle_rate_threshold(16, 4).scaled(4, 5);
+        let cfg = SimConfig::new(16, 4).adversary_type(rho, Rate::integer(2)).faults(FaultSpec {
+            jam: Rate::new(1, 10),
+            seed: 7,
+            ..Default::default()
+        });
+        let mut sim =
+            Simulator::new(cfg, KCycle::new(4).build(16), Box::new(UniformRandom::new(2)));
+        sim.run(rounds);
+        assert!(sim.violations().is_clean());
+        black_box(sim.metrics().jammed_rounds);
     }));
 }
 

@@ -92,6 +92,7 @@ impl Checkpoint {
         };
         let done = parse_body(&text, digest, total)
             .map_err(|e| format!("checkpoint {}: {e}", path.display()))?;
+        repair_torn_tail(path, &text).map_err(|e| format!("checkpoint {}: {e}", path.display()))?;
         let file = OpenOptions::new()
             .append(true)
             .open(path)
@@ -131,6 +132,30 @@ impl Checkpoint {
     pub fn remaining(&self) -> Vec<usize> {
         (0..self.total).filter(|i| !self.done.contains(i)).collect()
     }
+}
+
+/// Physically remove a torn trailing fragment the checkpoint parser
+/// ignored. Without this, lines appended after a resume would start in the
+/// middle of the torn bytes and merge into one garbage line, so a *second*
+/// resume (after another kill) would refuse the file. Both checkpoint
+/// formats share the 3-line `magic / digest / total-or-points` header; a
+/// tear inside the header that still parsed (the final newline alone is
+/// missing) is completed rather than truncated.
+pub(crate) fn repair_torn_tail(path: &Path, text: &str) -> std::io::Result<()> {
+    if text.ends_with('\n') || text.is_empty() {
+        return Ok(());
+    }
+    if text.bytes().filter(|&b| b == b'\n').count() >= 3 {
+        let keep = text.rfind('\n').map_or(0, |i| i + 1);
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(keep as u64)?;
+        file.sync_data()?;
+    } else {
+        let mut file = OpenOptions::new().append(true).open(path)?;
+        file.write_all(b"\n")?;
+        file.sync_data()?;
+    }
+    Ok(())
 }
 
 /// Reconcile a streaming output file with its checkpoint before resuming:
@@ -294,8 +319,14 @@ mod tests {
         let mut file = OpenOptions::new().append(true).open(&path).unwrap();
         write!(file, "done 2").unwrap(); // no newline
         drop(file);
-        let ck = Checkpoint::resume(&path, 9, 10).unwrap();
+        let mut ck = Checkpoint::resume(&path, 9, 10).unwrap();
         assert_eq!(ck.completed(), 2, "torn tail dropped");
+        // the torn bytes are physically gone: a record appended after the
+        // resume lands on a fresh line and a second resume accepts it
+        ck.record(2).unwrap();
+        drop(ck);
+        let ck = Checkpoint::resume(&path, 9, 10).unwrap();
+        assert_eq!(ck.completed(), 3, "post-resume record survives a second resume");
         let _ = std::fs::remove_file(&path);
 
         let path = temp_path("garbled");

@@ -71,7 +71,7 @@ use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
-use emac_sim::{Adversary, OnSchedule, Rate};
+use emac_sim::{Adversary, FaultSpec, OnSchedule, Rate};
 
 use crate::algorithm::Algorithm;
 use crate::runner::{RunReport, Runner};
@@ -126,6 +126,9 @@ pub struct ScenarioSpec {
     /// Stability-probe queue cap: stop the run early (verdict `Diverging`)
     /// once this many packets are queued — see [`Runner::probe_cap`].
     pub probe_cap: Option<u64>,
+    /// Deterministic fault injection (jamming, crash/restart, deaf rounds,
+    /// clock skew) — see [`emac_sim::faults`]. Omitted ⇒ fault-free.
+    pub faults: Option<FaultSpec>,
 }
 
 impl ScenarioSpec {
@@ -149,6 +152,7 @@ impl ScenarioSpec {
             period: None,
             horizon: None,
             probe_cap: None,
+            faults: None,
         }
     }
 
@@ -231,6 +235,12 @@ impl ScenarioSpec {
         self
     }
 
+    /// Inject deterministic faults described by `faults`.
+    pub fn faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
     /// Set the display label.
     pub fn label(mut self, label: impl Into<String>) -> Self {
         self.label = Some(label.into());
@@ -267,6 +277,9 @@ impl ScenarioSpec {
         }
         if self.algorithm.is_empty() || self.adversary.is_empty() {
             return Err("algorithm and adversary names must be non-empty".into());
+        }
+        if let Some(f) = &self.faults {
+            f.validate().map_err(|e| format!("{}: faults: {e}", self.display_label()))?;
         }
         Ok(())
     }
@@ -305,6 +318,9 @@ impl ScenarioSpec {
         }
         if let Some(p) = self.probe_cap {
             obj.push(("probe_cap".into(), json_u64(p)));
+        }
+        if let Some(f) = &self.faults {
+            obj.push(("faults".into(), fault_spec_to_json(f)));
         }
         Json::Obj(obj)
     }
@@ -363,6 +379,10 @@ impl RawScenario {
                 "period" => spec.period = Some(req_u64(value, key)?),
                 "horizon" => spec.horizon = Some(req_u64(value, key)?),
                 "probe_cap" => spec.probe_cap = Some(req_u64(value, key)?),
+                "faults" => {
+                    spec.faults =
+                        Some(fault_spec_from_json(value).map_err(|e| format!("faults: {e}"))?)
+                }
                 other => return Err(format!("unknown scenario key {other:?}")),
             }
         }
@@ -414,6 +434,64 @@ fn rate_from_json(v: &Json) -> Result<Rate, String> {
         }
         other => Err(format!("expected a rate, got {other:?}")),
     }
+}
+
+/// A fault spec in JSON: an object with optional keys `seed`, `jam`,
+/// `crash`, `crash_len`, `retain_queue`, `deaf`, `skew`. Rates are plain
+/// rationals (`"1/10"`), not expressions; missing keys keep the
+/// [`FaultSpec`] defaults (all families disabled). Unknown keys are
+/// rejected to catch typos.
+pub fn fault_spec_from_json(v: &Json) -> Result<FaultSpec, String> {
+    let Json::Obj(members) = v else {
+        return Err("faults must be a JSON object".into());
+    };
+    let mut spec = FaultSpec::default();
+    for (key, value) in members {
+        match key.as_str() {
+            "seed" => spec.seed = req_u64(value, key)?,
+            "jam" => spec.jam = rate_from_json(value).map_err(|e| format!("jam: {e}"))?,
+            "crash" => spec.crash = rate_from_json(value).map_err(|e| format!("crash: {e}"))?,
+            "crash_len" => spec.crash_len = req_u64(value, key)?,
+            "retain_queue" => match value {
+                Json::Bool(b) => spec.retain_queue = *b,
+                other => return Err(format!("retain_queue must be a bool, got {other:?}")),
+            },
+            "deaf" => spec.deaf = rate_from_json(value).map_err(|e| format!("deaf: {e}"))?,
+            "skew" => spec.skew = req_u64(value, key)?,
+            other => return Err(format!("unknown fault key {other:?}")),
+        }
+    }
+    spec.validate()?;
+    Ok(spec)
+}
+
+/// Serialize a fault spec; fields at their defaults are omitted, so the
+/// rendering round-trips through [`fault_spec_from_json`].
+pub fn fault_spec_to_json(f: &FaultSpec) -> Json {
+    let d = FaultSpec::default();
+    let mut obj = Vec::new();
+    if f.seed != d.seed {
+        obj.push(("seed".into(), json_u64(f.seed)));
+    }
+    if f.jam != d.jam {
+        obj.push(("jam".into(), Json::Str(rate_str(f.jam))));
+    }
+    if f.crash != d.crash {
+        obj.push(("crash".into(), Json::Str(rate_str(f.crash))));
+    }
+    if f.crash_len != d.crash_len {
+        obj.push(("crash_len".into(), json_u64(f.crash_len)));
+    }
+    if f.retain_queue != d.retain_queue {
+        obj.push(("retain_queue".into(), Json::Bool(f.retain_queue)));
+    }
+    if f.deaf != d.deaf {
+        obj.push(("deaf".into(), Json::Str(rate_str(f.deaf))));
+    }
+    if f.skew != d.skew {
+        obj.push(("skew".into(), json_u64(f.skew)));
+    }
+    Json::Obj(obj)
 }
 
 /// A rate axis entry in JSON: any literal form [`rate_from_json`] accepts,
@@ -500,6 +578,8 @@ pub struct Grid {
     pub horizon: Option<u64>,
     /// Scalar stability-probe queue cap.
     pub probe_cap: Option<u64>,
+    /// Scalar fault-injection spec applied to every expanded spec.
+    pub faults: Option<FaultSpec>,
 }
 
 impl Grid {
@@ -522,6 +602,7 @@ impl Grid {
             period: None,
             horizon: None,
             probe_cap: None,
+            faults: None,
         }
     }
 
@@ -628,6 +709,12 @@ impl Grid {
         self
     }
 
+    /// Set the fault-injection spec applied to every spec.
+    pub fn faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
     /// Number of scenarios [`Grid::expand`] will produce.
     pub fn cardinality(&self) -> usize {
         self.algorithms.len()
@@ -676,6 +763,7 @@ impl Grid {
                                     s.period = self.period;
                                     s.horizon = self.horizon;
                                     s.probe_cap = self.probe_cap;
+                                    s.faults = self.faults.clone();
                                     specs.push(s);
                                 }
                             }
@@ -725,6 +813,10 @@ impl Grid {
                 "period" => grid.period = Some(req_u64(value, key)?),
                 "horizon" => grid.horizon = Some(req_u64(value, key)?),
                 "probe_cap" => grid.probe_cap = Some(req_u64(value, key)?),
+                "faults" => {
+                    grid.faults =
+                        Some(fault_spec_from_json(value).map_err(|e| format!("faults: {e}"))?)
+                }
                 other => return Err(format!("unknown grid key {other:?}")),
             }
         }
@@ -1026,6 +1118,9 @@ fn execute_one<F: ScenarioFactory>(spec: &ScenarioSpec, factory: &F) -> Scenario
         if let Some(probe_cap) = spec.probe_cap {
             runner = runner.probe_cap(probe_cap);
         }
+        if let Some(faults) = &spec.faults {
+            runner = runner.faults(faults.clone());
+        }
         runner.try_run_against(algorithm.as_ref(), |schedule| factory.adversary(spec, schedule))
     }))
     .unwrap_or_else(|panic| {
@@ -1061,6 +1156,9 @@ pub fn execute_batch<F: ScenarioFactory>(
         }
         if let Some(probe_cap) = spec.probe_cap {
             runner = runner.probe_cap(probe_cap);
+        }
+        if let Some(faults) = &spec.faults {
+            runner = runner.faults(faults.clone());
         }
         runner.try_run_batch(
             seeds,
@@ -1308,6 +1406,44 @@ mod tests {
         assert_eq!(back, spec);
         let grid = Grid::new("a", "b").probe_cap(700);
         assert!(grid.expand().iter().all(|s| s.probe_cap == Some(700)));
+    }
+
+    #[test]
+    fn faults_round_trip_and_expand() {
+        let faults = FaultSpec {
+            seed: 9,
+            jam: Rate::new(1, 10),
+            crash: Rate::new(1, 500),
+            crash_len: 32,
+            retain_queue: false,
+            deaf: Rate::new(1, 8),
+            skew: 2,
+        };
+        let spec = ScenarioSpec::new("a", "b").faults(faults.clone());
+        let json = spec.to_json().render();
+        let back = ScenarioSpec::from_json(&Json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back.faults.as_ref(), Some(&faults));
+        assert_eq!(back, spec);
+
+        // Fault-free specs omit the key entirely, so their rendering (and
+        // every pinned spec-list digest derived from it) is byte-identical
+        // to the pre-faults format.
+        let plain = ScenarioSpec::new("a", "b");
+        assert!(!plain.to_json().render().contains("faults"));
+
+        let grid = Grid::new("a", "b").faults(faults.clone());
+        assert!(grid.expand().iter().all(|s| s.faults.as_ref() == Some(&faults)));
+    }
+
+    #[test]
+    fn fault_json_rejects_unknown_keys_and_bad_values() {
+        let parse = |s: &str| fault_spec_from_json(&Json::parse(s).unwrap());
+        assert!(parse(r#"{"bogus": 1}"#).unwrap_err().contains("unknown fault key"));
+        assert!(parse(r#"{"jam": "3/2"}"#).unwrap_err().contains("at most 1"));
+        assert!(parse(r#"{"crash": "1/4", "crash_len": 0}"#).unwrap_err().contains("crash_len"));
+        assert!(parse(r#"{"retain_queue": 1}"#).unwrap_err().contains("bool"));
+        assert!(fault_spec_from_json(&Json::parse("[]").unwrap()).is_err());
+        assert_eq!(parse("{}").unwrap(), FaultSpec::default());
     }
 
     #[test]

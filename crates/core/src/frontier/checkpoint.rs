@@ -108,6 +108,8 @@ impl FrontierCheckpoint {
         };
         let (probes, rows) = parse_body(&text, digest, points)
             .map_err(|e| format!("checkpoint {}: {e}", path.display()))?;
+        crate::campaign::checkpoint::repair_torn_tail(path, &text)
+            .map_err(|e| format!("checkpoint {}: {e}", path.display()))?;
         let file = OpenOptions::new()
             .append(true)
             .open(path)
@@ -355,6 +357,43 @@ mod tests {
         std::fs::write(&path, format!("{MAGIC}\ndigest {:016x}\npoints 4\nrow 1\n", 9u64)).unwrap();
         assert!(FrontierCheckpoint::resume(&path, 9, 4).unwrap_err().contains("out of order"));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_ensemble_escalation_tail_is_dropped() {
+        // A kill mid-append can tear an ensemble escalation event (`probe
+        // <pt> <v> <diverging> <lanes>`) at any field boundary; every
+        // prefix must be dropped, not misread as a (shorter) valid record.
+        for torn in ["probe 2 d", "probe 2 d 4", "probe 2 d 4 9"] {
+            let path = temp_path(&format!("torn-ens-{}", torn.len()));
+            let mut ck = FrontierCheckpoint::fresh(&path, 0xabad, 4).unwrap();
+            ck.record_ensemble_probe(0, Verdict::Stable, 1, 9).unwrap();
+            ck.record_row(0).unwrap();
+            drop(ck);
+            let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+            write!(file, "{torn}").unwrap(); // torn: no trailing newline
+            drop(file);
+
+            let mut ck = FrontierCheckpoint::resume(&path, 0xabad, 4).unwrap();
+            assert_eq!(
+                ck.probes(),
+                &[ProbeRecord { point: 0, verdict: Verdict::Stable, lanes: Some((1, 9)) }],
+                "{torn:?} must be dropped wholesale"
+            );
+            assert_eq!(ck.rows_written(), 1);
+
+            // The resumed run re-executes the torn probe and appends it
+            // cleanly after the torn bytes; a second resume sees both.
+            ck.record_ensemble_probe(2, Verdict::Diverging, 4, 9).unwrap();
+            drop(ck);
+            let ck = FrontierCheckpoint::resume(&path, 0xabad, 4).unwrap();
+            assert_eq!(ck.probes().len(), 2, "re-recorded escalation event survives");
+            assert_eq!(
+                ck.probes()[1],
+                ProbeRecord { point: 2, verdict: Verdict::Diverging, lanes: Some((4, 9)) }
+            );
+            let _ = std::fs::remove_file(&path);
+        }
     }
 
     #[test]

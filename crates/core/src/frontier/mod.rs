@@ -128,17 +128,24 @@ pub enum SearchAxis {
     /// Bisect the k-Cycle group count `ℓ`, realised via `k = ⌈n/ℓ⌉ + 1`
     /// (integer; high `ℓ` — small group share — diverges).
     Ell,
+    /// Bisect the jamming intensity (the `jam` rate of the template's
+    /// fault spec; bracket confined to `[0, 1]`, high jam diverges).
+    JamRate,
 }
 
 impl SearchAxis {
-    /// Parse an axis name (`"rho"`, `"beta"`, `"k"`, or `"ell"`).
+    /// Parse an axis name (`"rho"`, `"beta"`, `"k"`, `"ell"`, or
+    /// `"jam_rate"`).
     pub fn parse(s: &str) -> Result<Self, String> {
         match s {
             "rho" => Ok(SearchAxis::Rho),
             "beta" => Ok(SearchAxis::Beta),
             "k" => Ok(SearchAxis::K),
             "ell" => Ok(SearchAxis::Ell),
-            other => Err(format!("search axis must be rho, beta, k, or ell, got {other:?}")),
+            "jam_rate" => Ok(SearchAxis::JamRate),
+            other => {
+                Err(format!("search axis must be rho, beta, k, ell, or jam_rate, got {other:?}"))
+            }
         }
     }
 
@@ -149,6 +156,7 @@ impl SearchAxis {
             SearchAxis::Beta => "beta",
             SearchAxis::K => "k",
             SearchAxis::Ell => "ell",
+            SearchAxis::JamRate => "jam_rate",
         }
     }
 
@@ -159,8 +167,9 @@ impl SearchAxis {
     }
 
     /// Whether divergence lies on the *high* side of the bracket. True for
-    /// `rho`, `beta`, and `ell` (more load / smaller group share diverges);
-    /// false for `k`, where raising the cap raises the stability threshold.
+    /// `rho`, `beta`, `ell`, and `jam_rate` (more load / smaller group
+    /// share / more channel noise diverges); false for `k`, where raising
+    /// the cap raises the stability threshold.
     pub fn diverges_high(self) -> bool {
         !matches!(self, SearchAxis::K)
     }
@@ -903,8 +912,11 @@ impl PointSearch {
         if !lo.lt(&hi) {
             return Err(at(&format!("bracket is empty (lo {} >= hi {})", lo, hi)));
         }
-        if spec.axis == SearchAxis::Rho && Rate::one().lt(&hi) {
-            return Err(at(&format!("rho bracket must stay within [0, 1], hi is {hi}")));
+        if matches!(spec.axis, SearchAxis::Rho | SearchAxis::JamRate) && Rate::one().lt(&hi) {
+            return Err(at(&format!(
+                "{} bracket must stay within [0, 1], hi is {hi}",
+                spec.axis.name()
+            )));
         }
         if spec.axis.integer() {
             if lo.den() != 1 || hi.den() != 1 {
@@ -989,6 +1001,11 @@ impl PointSearch {
             // The nearest achievable cap for the probed group count; where
             // no cap yields it exactly, this runs the closest ℓ below it.
             SearchAxis::Ell => spec.k = self.point.n.div_ceil(rate.num() as usize) + 1,
+            // Probes inherit the template's fault spec (seed and the other
+            // families) with only the jamming intensity overwritten.
+            SearchAxis::JamRate => {
+                spec.faults.get_or_insert_with(Default::default).jam = rate;
+            }
         }
         Some(spec)
     }
@@ -1492,7 +1509,7 @@ mod tests {
             r#"{"template": {"algorithm": "a", "adversary": "b"}, "axis": "seed"}"#,
         )
         .unwrap_err();
-        assert!(err.contains("rho, beta, k, or ell"), "{err}");
+        assert!(err.contains("rho, beta, k, ell, or jam_rate"), "{err}");
         let err = FrontierSpec::parse(
             r#"{"template": {"algorithm": "a", "adversary": "b"}, "map": {"seed": [1]}}"#,
         )

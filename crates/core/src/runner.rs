@@ -8,8 +8,8 @@
 use std::sync::Arc;
 
 use emac_sim::{
-    Adversary, BatchSimulator, Metrics, OnSchedule, Rate, SimConfig, Simulator, Violations,
-    WakeMode,
+    Adversary, BatchSimulator, FaultSpec, Metrics, OnSchedule, Rate, SimConfig, Simulator,
+    Violations, WakeMode,
 };
 
 use crate::algorithm::Algorithm;
@@ -26,6 +26,7 @@ pub struct Runner {
     cap_override: Option<usize>,
     drain_rounds: Option<u64>,
     probe_cap: Option<u64>,
+    faults: Option<FaultSpec>,
 }
 
 impl Runner {
@@ -41,6 +42,7 @@ impl Runner {
             cap_override: None,
             drain_rounds: None,
             probe_cap: None,
+            faults: None,
         }
     }
 
@@ -90,6 +92,15 @@ impl Runner {
         self
     }
 
+    /// Inject deterministic faults (jamming, crash/restart, deaf rounds,
+    /// clock skew) described by `spec`; see [`emac_sim::faults`]. The fault
+    /// stream is derived from `spec.seed`, never the scenario seed, so every
+    /// batch lane sees the identical fault schedule.
+    pub fn faults(mut self, spec: FaultSpec) -> Self {
+        self.faults = Some(spec);
+        self
+    }
+
     /// Run `algorithm` against a fixed adversary.
     pub fn run(&self, algorithm: &dyn Algorithm, adversary: Box<dyn Adversary>) -> RunReport {
         self.run_against(algorithm, |_| adversary)
@@ -121,8 +132,11 @@ impl Runner {
         let cap = self.cap_override.unwrap_or_else(|| algorithm.required_cap(self.n));
         let sample =
             if self.sample_every == 0 { (self.rounds / 2_048).max(1) } else { self.sample_every };
-        let cfg =
+        let mut cfg =
             SimConfig::new(self.n, cap).adversary_type(self.rho, self.beta).sample_every(sample);
+        if let Some(f) = &self.faults {
+            cfg = cfg.faults(f.clone());
+        }
         let built = algorithm.build(self.n);
         let adversary = match &built.wake {
             WakeMode::Scheduled(s) => make_adversary(Some(s))?,
@@ -181,9 +195,12 @@ impl Runner {
                 }
                 Some(_) => {}
             }
-            let cfg = SimConfig::new(self.n, lane_cap)
+            let mut cfg = SimConfig::new(self.n, lane_cap)
                 .adversary_type(self.rho, self.beta)
                 .sample_every(sample);
+            if let Some(f) = &self.faults {
+                cfg = cfg.faults(f.clone());
+            }
             let built = algorithm.build(self.n);
             let adversary = match &built.wake {
                 WakeMode::Scheduled(s) => make_adversary(seed, Some(s))?,

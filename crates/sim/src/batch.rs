@@ -71,7 +71,14 @@ impl BatchSimulator {
         }
         let table = lanes[0].schedule_cache();
         let shared = match table {
-            Some(t) if lanes.iter().all(|l| l.schedule_cache() == Some(t)) => {
+            // Crash and skew faults change a lane's wake set per station,
+            // so such lanes step individually even when the underlying
+            // schedules match (jam and deaf faults keep lockstep: they
+            // never touch the wake set).
+            Some(t)
+                if lanes.iter().all(|l| l.schedule_cache() == Some(t))
+                    && lanes.iter().all(|l| !l.wake_faults_active()) =>
+            {
                 // Wake history is a pure function of the (identical)
                 // schedule, so lane 0's bookkeeping is every lane's.
                 let (prev_awake, on_counts, last_on) = lanes[0].adversary_view_state();

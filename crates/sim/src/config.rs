@@ -1,5 +1,6 @@
 //! Simulation configuration.
 
+use crate::faults::FaultSpec;
 use crate::rate::Rate;
 
 /// Static parameters of a simulated multiple-access-channel system.
@@ -19,6 +20,8 @@ pub struct SimConfig {
     pub beta: Rate,
     /// Queue-size series sampling period, in rounds.
     pub sample_every: u64,
+    /// Deterministic fault injection; `None` (the default) runs fault-free.
+    pub faults: Option<FaultSpec>,
 }
 
 impl SimConfig {
@@ -26,7 +29,21 @@ impl SimConfig {
     pub fn new(n: usize, cap: usize) -> Self {
         assert!(n >= 2, "the model needs at least two stations");
         assert!(cap >= 2, "energy cap 2 is the minimum for point-to-point communication");
-        Self { n, cap, rho: Rate::new(1, 2), beta: Rate::integer(1), sample_every: 256 }
+        Self {
+            n,
+            cap,
+            rho: Rate::new(1, 2),
+            beta: Rate::integer(1),
+            sample_every: 256,
+            faults: None,
+        }
+    }
+
+    /// Inject deterministic faults described by `spec` (see [`crate::faults`]).
+    pub fn faults(mut self, spec: FaultSpec) -> Self {
+        spec.validate().expect("fault spec must be valid");
+        self.faults = Some(spec);
+        self
     }
 
     /// Set the adversary type `(ρ, β)`.

@@ -21,6 +21,7 @@
 
 use crate::bitset::BitSet;
 use crate::config::SimConfig;
+use crate::faults::{FaultPlan, RoundFaults};
 use crate::message::Message;
 use crate::metrics::{Metrics, QueueSample};
 use crate::packet::{Injection, Packet, PacketId, Round, StationId};
@@ -98,6 +99,10 @@ pub struct Simulator {
     /// construction (`None` for adaptive algorithms, aperiodic schedules,
     /// and periods over the table budget — those enumerate per round).
     cache: Option<ScheduleTable>,
+    /// Deterministic fault injector (`None` for fault-free runs, which take
+    /// no fault branches at all — their executions are byte-identical to
+    /// builds without this field).
+    faults: Option<FaultPlan>,
     // per-round scratch buffers, reused so the steady-state round loop
     // performs no heap allocation
     awake: Vec<StationId>,
@@ -143,6 +148,7 @@ impl Simulator {
             WakeMode::Scheduled(s) => ScheduleTable::build(s.as_ref(), n),
             WakeMode::Adaptive => None,
         };
+        let faults = cfg.faults.as_ref().filter(|f| !f.is_noop()).map(|f| FaultPlan::new(f, n));
         Self {
             name,
             class,
@@ -164,6 +170,7 @@ impl Simulator {
             queue_sizes: vec![0; n],
             awake_mask: BitSet::new(n),
             cache,
+            faults,
             awake: Vec::with_capacity(n),
             transmissions: Vec::with_capacity(n),
             plan: Vec::new(),
@@ -216,6 +223,28 @@ impl Simulator {
         let r = self.round;
         let n = self.cfg.n;
 
+        // 0. Fault roll. The fault stream is seeded from the fault spec, not
+        // the lane seed, so every lane of a batch draws the identical
+        // schedule here — jam and deaf faults are lockstep-compatible, while
+        // wake-affecting faults (crash, skew) force the batch driver into
+        // per-lane stepping (see `wake_faults_active`). A fresh crash onset
+        // is processed before injection: with loss semantics the station's
+        // queue empties now, and packets injected this very round land in
+        // the (empty) queue of the dark station.
+        let faults: Option<RoundFaults> = self.faults.as_mut().map(|p| p.roll(r, n));
+        if let Some(crashed) = faults.as_ref().and_then(|f| f.crash) {
+            self.metrics.crashes += 1;
+            let retain = self.faults.as_ref().is_none_or(|p| p.retain_queue());
+            if !retain {
+                let dropped = self.queues[crashed].len() as u64;
+                while let Some(id) = self.queues[crashed].oldest().map(|qp| qp.packet.id) {
+                    self.queues[crashed].remove(id);
+                }
+                self.queue_sizes[crashed] = 0;
+                self.metrics.total_queued -= dropped;
+            }
+        }
+
         // 1. Adversarial injection (planned into a reused scratch buffer,
         // so injecting rounds stay allocation-free in steady state).
         // `queue_sizes` is maintained incrementally at every push/removal,
@@ -253,27 +282,55 @@ impl Simulator {
         let mut local_awake = std::mem::take(&mut self.awake);
         let mut local_mask = std::mem::replace(&mut self.awake_mask, BitSet::new(0));
         if shared.is_none() {
-            match (&self.cache, &self.wake) {
-                (Some(table), _) => table.fill(r, &mut local_mask, &mut local_awake),
-                (None, WakeMode::Scheduled(s)) => {
-                    s.on_set_into(n, r, &mut local_awake);
-                    local_mask.clear();
-                    for &s in &local_awake {
+            let wake_faulted = self.faults.as_ref().is_some_and(|p| p.affects_wake());
+            if wake_faulted {
+                // Crash and skew change the wake set per station, so the
+                // packed cache is bypassed: every station is evaluated
+                // against its own (possibly offset) clock, and dark
+                // stations are dropped. Adaptive timers still expire while
+                // a station is dark — it resumes with its pre-crash power
+                // state when the outage ends.
+                let plan = self.faults.as_ref().expect("wake-faulted plan");
+                local_awake.clear();
+                local_mask.clear();
+                for s in 0..n {
+                    if let Power::OffUntil(w) = self.power[s] {
+                        if w <= r {
+                            self.power[s] = Power::On;
+                        }
+                    }
+                    let on = match &self.wake {
+                        WakeMode::Scheduled(sch) => sch.is_on(s, r.saturating_add(plan.skew_of(s))),
+                        WakeMode::Adaptive => self.power[s] == Power::On,
+                    };
+                    if on && !plan.is_crashed(s, r) {
+                        local_awake.push(s);
                         local_mask.insert(s);
                     }
                 }
-                (None, WakeMode::Adaptive) => {
-                    local_awake.clear();
-                    local_mask.clear();
-                    for s in 0..n {
-                        if let Power::OffUntil(w) = self.power[s] {
-                            if w <= r {
-                                self.power[s] = Power::On;
-                            }
-                        }
-                        if self.power[s] == Power::On {
-                            local_awake.push(s);
+            } else {
+                match (&self.cache, &self.wake) {
+                    (Some(table), _) => table.fill(r, &mut local_mask, &mut local_awake),
+                    (None, WakeMode::Scheduled(s)) => {
+                        s.on_set_into(n, r, &mut local_awake);
+                        local_mask.clear();
+                        for &s in &local_awake {
                             local_mask.insert(s);
+                        }
+                    }
+                    (None, WakeMode::Adaptive) => {
+                        local_awake.clear();
+                        local_mask.clear();
+                        for s in 0..n {
+                            if let Power::OffUntil(w) = self.power[s] {
+                                if w <= r {
+                                    self.power[s] = Power::On;
+                                }
+                            }
+                            if self.power[s] == Power::On {
+                                local_awake.push(s);
+                                local_mask.insert(s);
+                            }
                         }
                     }
                 }
@@ -306,70 +363,99 @@ impl Simulator {
             }
         }
 
-        // 4. Channel resolution.
+        // 4. Channel resolution. A jammed slot is corrupted no matter what
+        // was sent: nothing is heard, no packet leaves its sender's queue
+        // (the algorithm retries it from feedback, exactly as after a real
+        // collision), and every switched-on station observes `Collision`.
+        // Jamming is channel noise, not an algorithm error, so it counts
+        // toward `jammed_rounds` only — never `violations.collisions` — and
+        // protocol flags raised against the corrupted feedback are
+        // suppressed below.
+        let jammed = faults.as_ref().is_some_and(|f| f.jammed);
+        let jam_transmitters = self.transmissions.len();
         let mut heard: Option<HeardInfo> = None;
         let mut message_sender: Option<StationId> = None;
-        let heard_message: Option<Message> = match self.transmissions.len() {
-            0 => {
-                self.metrics.silent_rounds += 1;
-                None
-            }
-            1 => {
-                let (sender, mut msg) = self.transmissions.pop().expect("one transmission");
-                message_sender = Some(sender);
-                if self.class.plain_packet && (msg.packet.is_none() || !msg.control.is_empty()) {
-                    self.violations.plain_packet += 1;
+        let heard_message: Option<Message> = if jammed {
+            self.metrics.jammed_rounds += 1;
+            self.transmissions.clear();
+            None
+        } else {
+            match self.transmissions.len() {
+                0 => {
+                    self.metrics.silent_rounds += 1;
+                    None
                 }
-                if let Some(p) = msg.packet {
-                    if !self.queues[sender].contains(p.id) {
-                        debug_assert!(
-                            false,
-                            "station {sender} transmitted foreign packet {}",
-                            p.id
-                        );
-                        self.violations.custody += 1;
-                        msg.packet = None;
+                1 => {
+                    let (sender, mut msg) = self.transmissions.pop().expect("one transmission");
+                    message_sender = Some(sender);
+                    if self.class.plain_packet && (msg.packet.is_none() || !msg.control.is_empty())
+                    {
+                        self.violations.plain_packet += 1;
                     }
-                }
-                self.metrics.control_bits_total += msg.control.len() as u64;
-                self.metrics.control_bits_max =
-                    self.metrics.control_bits_max.max(msg.control.len());
-                if let Some(p) = msg.packet {
-                    self.metrics.packet_rounds += 1;
-                    self.queues[sender].remove(p.id).expect("custody verified above");
-                    self.queue_sizes[sender] -= 1;
-                    self.metrics.total_queued -= 1;
-                    let delivered = awake_mask.contains(p.dest);
-                    if delivered {
-                        self.metrics.delivered += 1;
-                        self.metrics.delivered_per_dest[p.dest] += 1;
-                        self.metrics.delay.record(r - p.injected_round);
+                    if let Some(p) = msg.packet {
+                        if !self.queues[sender].contains(p.id) {
+                            debug_assert!(
+                                false,
+                                "station {sender} transmitted foreign packet {}",
+                                p.id
+                            );
+                            self.violations.custody += 1;
+                            msg.packet = None;
+                        }
                     }
-                    heard = Some(HeardInfo { packet: p, sender, delivered, adopted_by: None });
-                } else {
-                    self.metrics.light_rounds += 1;
+                    self.metrics.control_bits_total += msg.control.len() as u64;
+                    self.metrics.control_bits_max =
+                        self.metrics.control_bits_max.max(msg.control.len());
+                    if let Some(p) = msg.packet {
+                        self.metrics.packet_rounds += 1;
+                        self.queues[sender].remove(p.id).expect("custody verified above");
+                        self.queue_sizes[sender] -= 1;
+                        self.metrics.total_queued -= 1;
+                        let delivered = awake_mask.contains(p.dest);
+                        if delivered {
+                            self.metrics.delivered += 1;
+                            self.metrics.delivered_per_dest[p.dest] += 1;
+                            self.metrics.delay.record(r - p.injected_round);
+                        }
+                        heard = Some(HeardInfo { packet: p, sender, delivered, adopted_by: None });
+                    } else {
+                        self.metrics.light_rounds += 1;
+                    }
+                    Some(msg)
                 }
-                Some(msg)
-            }
-            _ => {
-                self.metrics.collision_rounds += 1;
-                self.violations.collisions += 1;
-                None
+                _ => {
+                    self.metrics.collision_rounds += 1;
+                    self.violations.collisions += 1;
+                    None
+                }
             }
         };
-        let collided = self.transmissions.len() > 1;
+        let collided = jammed || self.transmissions.len() > 1;
 
         // 5. Feedback, adoption, sleep decisions. Every switched-on station
-        // observes the same channel outcome.
+        // observes the same channel outcome — except a deaf station, which
+        // misses this round's feedback and hears silence instead. Flags a
+        // station raises against fault-corrupted feedback (any station in a
+        // jammed round, the deaf station on its deaf round) are environment
+        // noise and suppressed; downstream consequences (a packet lost
+        // because its would-be adopter was deaf, say) remain visible.
         let fb = match (&heard_message, collided) {
             (_, true) => Feedback::Collision,
             (Some(m), false) => Feedback::Heard(m),
             (None, false) => Feedback::Silence,
         };
+        let deaf = faults.as_ref().and_then(|f| f.deaf).filter(|&d| awake_mask.contains(d));
+        if deaf.is_some() {
+            self.metrics.deaf_rounds += 1;
+        }
         for &s in awake {
             let ctx = ProtocolCtx { id: s, n, cap: self.cfg.cap, round: r };
             let mut effects = Effects::default();
-            let wake = self.protocols[s].on_feedback(&ctx, &self.queues[s], fb, &mut effects);
+            let fb_s = if deaf == Some(s) { Feedback::Silence } else { fb };
+            let wake = self.protocols[s].on_feedback(&ctx, &self.queues[s], fb_s, &mut effects);
+            if jammed || deaf == Some(s) {
+                effects.flags.clear();
+            }
             for reason in effects.flags.drain(..) {
                 self.violations.flag(r, s, reason);
             }
@@ -393,25 +479,31 @@ impl Simulator {
         }
 
         if self.trace.is_some() {
-            let event = match (&heard, &heard_message, collided) {
-                (_, _, true) => ChannelEvent::Collision { transmitters: self.transmissions.len() },
-                (Some(h), _, false) => ChannelEvent::Packet {
-                    sender: h.sender,
-                    packet: h.packet.id,
-                    dest: h.packet.dest,
-                    outcome: if h.delivered {
-                        PacketOutcome::Delivered
-                    } else if let Some(by) = h.adopted_by {
-                        PacketOutcome::Adopted(by)
-                    } else {
-                        PacketOutcome::Lost
+            let event = if jammed {
+                ChannelEvent::Jammed { transmitters: jam_transmitters }
+            } else {
+                match (&heard, &heard_message, collided) {
+                    (_, _, true) => {
+                        ChannelEvent::Collision { transmitters: self.transmissions.len() }
+                    }
+                    (Some(h), _, false) => ChannelEvent::Packet {
+                        sender: h.sender,
+                        packet: h.packet.id,
+                        dest: h.packet.dest,
+                        outcome: if h.delivered {
+                            PacketOutcome::Delivered
+                        } else if let Some(by) = h.adopted_by {
+                            PacketOutcome::Adopted(by)
+                        } else {
+                            PacketOutcome::Lost
+                        },
                     },
-                },
-                (None, Some(m), false) => ChannelEvent::Light {
-                    sender: message_sender.unwrap_or_default(),
-                    control_bits: m.control.len(),
-                },
-                (None, None, false) => ChannelEvent::Silence,
+                    (None, Some(m), false) => ChannelEvent::Light {
+                        sender: message_sender.unwrap_or_default(),
+                        control_bits: m.control.len(),
+                    },
+                    (None, None, false) => ChannelEvent::Silence,
+                }
             };
             let injections = std::mem::take(&mut self.traced_injections);
             if let Some(trace) = self.trace.as_mut() {
@@ -577,6 +669,13 @@ impl Simulator {
     /// (the precondition for lockstep batching — see [`crate::batch`]).
     pub(crate) fn schedule_cache(&self) -> Option<&ScheduleTable> {
         self.cache.as_ref()
+    }
+
+    /// Whether injected faults change this lane's wake set (crash or skew).
+    /// Such lanes cannot read a shared schedule expansion, so the batch
+    /// driver steps them individually (see [`crate::batch`]).
+    pub(crate) fn wake_faults_active(&self) -> bool {
+        self.faults.as_ref().is_some_and(|p| p.affects_wake())
     }
 
     /// The adversary-view wake bookkeeping `(prev_awake, on_counts,

@@ -70,6 +70,7 @@ pub mod batch;
 pub mod bitset;
 pub mod config;
 pub mod engine;
+pub mod faults;
 pub mod message;
 pub mod metrics;
 pub mod packet;
@@ -86,6 +87,7 @@ pub use batch::BatchSimulator;
 pub use bitset::BitSet;
 pub use config::SimConfig;
 pub use engine::Simulator;
+pub use faults::{FaultPlan, FaultSpec, RoundFaults};
 pub use message::{bits_for, BitReader, ControlBits, Message};
 pub use metrics::{DelayStats, Metrics, QueueSample};
 pub use packet::{Injection, Packet, PacketId, Round, StationId};

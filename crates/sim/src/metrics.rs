@@ -142,6 +142,15 @@ pub struct Metrics {
     pub delivered_per_dest: Vec<u64>,
     /// Packets injected, by station of injection.
     pub injected_per_station: Vec<u64>,
+    /// Rounds corrupted by injected jamming (see [`crate::faults`]).
+    ///
+    /// Fault counters are telemetry: deliberately **not** folded into report
+    /// digests, so fault-free goldens are untouched by their presence.
+    pub jammed_rounds: u64,
+    /// Fresh crash onsets injected by the fault plan.
+    pub crashes: u64,
+    /// Rounds in which a switched-on station was deaf to feedback.
+    pub deaf_rounds: u64,
 }
 
 impl Metrics {

@@ -21,6 +21,11 @@ pub enum ChannelEvent {
         /// Number of simultaneous transmitters.
         transmitters: usize,
     },
+    /// The slot was corrupted by injected jamming (see [`crate::faults`]).
+    Jammed {
+        /// Transmitters whose messages were destroyed (may be zero).
+        transmitters: usize,
+    },
     /// A light (packet-less) message was heard.
     Light {
         /// The transmitter.
@@ -112,6 +117,9 @@ impl Trace {
                 ChannelEvent::Silence => "(silence)".to_string(),
                 ChannelEvent::Collision { transmitters } => {
                     format!("COLLISION x{transmitters}")
+                }
+                ChannelEvent::Jammed { transmitters } => {
+                    format!("JAMMED x{transmitters}")
                 }
                 ChannelEvent::Light { sender, control_bits } => {
                     format!("s{sender} light [{control_bits}b]")

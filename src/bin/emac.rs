@@ -2,11 +2,12 @@
 //!
 //! ```text
 //! emac run --alg count-hop --n 8 --rho 1/2 --beta 2 --rounds 100000 \
-//!          --adversary uniform --seed 7 [--drain 20000] [--trace 40]
+//!          --adversary uniform --seed 7 [--drain 20000] [--trace 40] \
+//!          [--probe-cap 5000] [--jam 1/10 | --faults '{"jam":"1/10","seed":7}']
 //! emac campaign spec.json [--threads N] [--out DIR]
 //!               [--format csv|jsonl] [--detail full|slim] [--resume] [--limit M]
 //! emac campaign --example
-//! emac frontier template.json [--axis rho|beta|k|ell] [--tol T] [--escalate S[:D]]
+//! emac frontier template.json [--axis rho|beta|k|ell|jam_rate] [--tol T] [--escalate S[:D]]
 //!               [--threads N] [--out DIR] [--format csv|jsonl] [--resume] [--max-waves M]
 //! emac frontier --example
 //! emac list
@@ -61,11 +62,12 @@ fn usage() {
     eprintln!(
         "usage:\n  emac run --alg <name> --n <N> [--k <K>] [--rho P/Q] [--beta B]\n           \
          [--rounds R] [--adversary <name>] [--seed S] [--seeds A,B,C|N] [--drain R]\n           \
-         [--trace N] [--cap C] [--target S] [--dest S] [--period R] [--horizon R]\n  \
+         [--trace N] [--cap C] [--target S] [--dest S] [--period R] [--horizon R]\n           \
+         [--probe-cap Q] [--jam P/Q | --faults JSON]\n  \
          emac campaign <spec.json> [--threads N] [--out DIR]\n           \
          [--format csv|jsonl] [--detail full|slim] [--resume] [--limit M]\n  \
          emac campaign --example   # print a commented example spec\n  \
-         emac frontier <template.json> [--axis rho|beta|k|ell] [--tol T]\n           \
+         emac frontier <template.json> [--axis rho|beta|k|ell|jam_rate] [--tol T]\n           \
          [--escalate S[:D]] [--threads N] [--out DIR] [--format csv|jsonl]\n           \
          [--resume] [--max-waves M]\n  \
          emac frontier --example   # print an example template\n  \
@@ -550,8 +552,10 @@ fn run(args: &[String]) -> ExitCode {
         println!("seed batch: {} lanes | {}", seeds.len(), spec.display_label());
         for (seed, report) in seeds.iter().zip(&reports) {
             all_clean &= report.clean();
+            let tripped =
+                report.tripped_round.map_or(String::new(), |r| format!(" | tripped round {r}"));
             println!(
-                "  seed {seed:>3} | {:<12} | digest {} | delivered {}/{} | max queue {} | invariants: {}",
+                "  seed {seed:>3} | {:<12} | digest {} | delivered {}/{} | max queue {} | invariants: {}{tripped}",
                 format!("{:?}", report.stability.verdict),
                 emac::core::digest::report_digest_hex(report),
                 report.metrics.delivered,
@@ -569,7 +573,10 @@ fn run(args: &[String]) -> ExitCode {
     if let Some(capacity) = opts.trace {
         use emac::sim::{SimConfig, Simulator, WakeMode};
         let cap = opts.cap.unwrap_or_else(|| alg.required_cap(opts.n));
-        let cfg = SimConfig::new(opts.n, cap).adversary_type(opts.rho, opts.beta);
+        let mut cfg = SimConfig::new(opts.n, cap).adversary_type(opts.rho, opts.beta);
+        if let Some(f) = &opts.faults {
+            cfg = cfg.faults(f.clone());
+        }
         let built = alg.build(opts.n);
         let schedule = match &built.wake {
             WakeMode::Scheduled(s) => Some(s.clone()),
@@ -605,6 +612,12 @@ fn run(args: &[String]) -> ExitCode {
     if let Some(c) = opts.cap {
         runner = runner.cap(c);
     }
+    if let Some(q) = opts.probe_cap {
+        runner = runner.probe_cap(q);
+    }
+    if let Some(f) = &opts.faults {
+        runner = runner.faults(f.clone());
+    }
     let report = match runner.try_run_against(alg.as_ref(), |s| Registry::make_adversary(&spec, s))
     {
         Ok(report) => report,
@@ -614,6 +627,9 @@ fn run(args: &[String]) -> ExitCode {
         }
     };
     println!("{report}");
+    if let Some(r) = report.tripped_round {
+        println!("  probe: queue cap tripped at round {r}");
+    }
     println!("  digest: {}", emac::core::digest::report_digest_hex(&report));
     if report.clean() {
         ExitCode::SUCCESS

@@ -5,9 +5,10 @@
 //! resolution itself lives in [`crate::registry`] — the same registry the
 //! campaign executor and the bench binaries use.
 
-use emac_core::campaign::{MetricsDetail, ScenarioSpec};
+use emac_core::campaign::json::Json;
+use emac_core::campaign::{fault_spec_from_json, MetricsDetail, ScenarioSpec};
 use emac_core::prelude::*;
-use emac_sim::{Adversary, Rate};
+use emac_sim::{Adversary, FaultSpec, Rate};
 
 use crate::registry::Registry;
 
@@ -259,6 +260,11 @@ pub struct Opts {
     pub period: Option<u64>,
     /// Schedule-analysis horizon for the attack adversaries.
     pub horizon: Option<u64>,
+    /// Divergence probe: stop early once the total queue reaches this cap
+    /// and report the tripping round.
+    pub probe_cap: Option<u64>,
+    /// Fault injection (`--jam R` shorthand or a full `--faults` JSON object).
+    pub faults: Option<FaultSpec>,
 }
 
 impl Default for Opts {
@@ -280,6 +286,8 @@ impl Default for Opts {
             dest: None,
             period: None,
             horizon: None,
+            probe_cap: None,
+            faults: None,
         }
     }
 }
@@ -300,6 +308,8 @@ impl Opts {
         spec.dest = self.dest;
         spec.period = self.period;
         spec.horizon = self.horizon;
+        spec.probe_cap = self.probe_cap;
+        spec.faults = self.faults.clone();
         spec
     }
 }
@@ -307,6 +317,7 @@ impl Opts {
 /// Parse `emac run` flags.
 pub fn parse(args: &[String]) -> Result<Opts, String> {
     let mut o = Opts::default();
+    let mut jam: Option<Rate> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value =
@@ -330,6 +341,11 @@ pub fn parse(args: &[String]) -> Result<Opts, String> {
             "--horizon" => {
                 o.horizon = Some(value()?.parse().map_err(|e| format!("--horizon: {e}"))?)
             }
+            "--probe-cap" => {
+                o.probe_cap = Some(value()?.parse().map_err(|e| format!("--probe-cap: {e}"))?)
+            }
+            "--jam" => jam = Some(parse_rate(value()?).map_err(|e| format!("--jam: {e}"))?),
+            "--faults" => o.faults = Some(parse_faults(value()?)?),
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -339,7 +355,27 @@ pub fn parse(args: &[String]) -> Result<Opts, String> {
     if o.n < 2 {
         return Err("--n must be at least 2".into());
     }
+    if o.probe_cap == Some(0) {
+        return Err("--probe-cap must be positive".into());
+    }
+    match (jam, &mut o.faults) {
+        (Some(_), Some(_)) => {
+            return Err(
+                "--jam conflicts with --faults (set \"jam\" inside the --faults object)".into()
+            )
+        }
+        (Some(rate), none) => *none = Some(FaultSpec { jam: rate, ..Default::default() }),
+        (None, _) => {}
+    }
     Ok(o)
+}
+
+/// Parse `--faults`: a JSON object with the same keys as the campaign
+/// spec's `"faults"` entry, e.g.
+/// `--faults '{"jam": "1/10", "crash": "1/500", "crash_len": 32, "seed": 7}'`.
+pub fn parse_faults(s: &str) -> Result<FaultSpec, String> {
+    let json = Json::parse(s).map_err(|e| format!("--faults: {e}"))?;
+    fault_spec_from_json(&json).map_err(|e| format!("--faults: {e}"))
 }
 
 /// Parse `--seeds`: either an explicit comma-separated list (`--seeds
@@ -360,7 +396,8 @@ pub fn parse_seeds(s: &str) -> Result<Vec<u64>, String> {
 }
 
 /// Parse `--escalate MAX[:STEP]` into `(max_seeds, step)`; the step
-/// defaults to 1. Validation against the template's seed count happens in
+/// defaults to 1. Both values must be positive; validation against the
+/// template's seed count (MAX below the base ensemble) happens in
 /// [`FrontierSpec::validate`](emac_core::frontier::FrontierSpec::validate).
 pub fn parse_escalate(s: &str) -> Result<(usize, usize), String> {
     let (max, step) = match s.split_once(':') {
@@ -369,7 +406,13 @@ pub fn parse_escalate(s: &str) -> Result<(usize, usize), String> {
         }
         None => (s, 1),
     };
-    let max = max.trim().parse().map_err(|e| format!("--escalate {max:?}: {e}"))?;
+    let max: usize = max.trim().parse().map_err(|e| format!("--escalate {max:?}: {e}"))?;
+    if max == 0 {
+        return Err("--escalate max seed count must be positive".into());
+    }
+    if step == 0 {
+        return Err("--escalate step must be positive".into());
+    }
     Ok((max, step))
 }
 
@@ -551,6 +594,65 @@ mod tests {
         assert!(parse_frontier(&argv("map.json --escalate x")).is_err());
         assert!(parse_frontier(&argv("map.json --escalate 9:x")).is_err());
         assert!(parse_frontier(&argv("map.json --escalate")).is_err(), "missing value");
+    }
+
+    #[test]
+    fn escalate_rejects_malformed_arguments() {
+        let err = parse_frontier(&argv("map.json --escalate 0")).unwrap_err();
+        assert!(err.contains("positive"), "zero max: {err}");
+        let err = parse_frontier(&argv("map.json --escalate 9:0")).unwrap_err();
+        assert!(err.contains("step must be positive"), "zero step: {err}");
+        assert!(parse_escalate("-3").is_err(), "negative max");
+        assert!(parse_escalate("9:-1").is_err(), "negative step");
+        assert!(parse_escalate("9:2:4").is_err(), "extra component");
+        assert!(parse_escalate("").is_err(), "empty");
+        assert!(parse_escalate(":").is_err(), "bare separator");
+        // MAX below the template's seed count parses here; the frontier
+        // spec's validate() rejects it with full context.
+        assert_eq!(parse_escalate("1").unwrap(), (1, 1));
+    }
+
+    #[test]
+    fn fault_flags() {
+        let o = parse(&argv("--alg k-cycle --jam 1/10")).unwrap();
+        let f = o.faults.expect("--jam implies a fault spec");
+        assert_eq!(f.jam, Rate::new(1, 10));
+        assert_eq!(FaultSpec { jam: Rate::new(1, 10), ..Default::default() }, f);
+        let spec = parse(&argv("--alg k-cycle --jam 1/10")).unwrap().to_spec();
+        assert_eq!(spec.faults.unwrap().jam, Rate::new(1, 10));
+
+        let json = r#"{"jam":"1/8","crash":"1/500","crash_len":32,"seed":7}"#;
+        let o = parse(&["--alg".into(), "k-cycle".into(), "--faults".into(), json.into()]).unwrap();
+        let f = o.faults.unwrap();
+        assert_eq!(
+            (f.jam, f.crash, f.crash_len, f.seed),
+            (Rate::new(1, 8), Rate::new(1, 500), 32, 7)
+        );
+
+        assert!(parse(&argv("--alg k-cycle")).unwrap().faults.is_none());
+        assert!(parse(&argv("--alg k-cycle --jam 3/2")).is_err(), "super-unit rate");
+        assert!(parse(&argv("--alg k-cycle --jam x")).is_err(), "garbage rate");
+        let err = parse(&[
+            "--alg".into(),
+            "k-cycle".into(),
+            "--jam".into(),
+            "1/10".into(),
+            "--faults".into(),
+            "{}".into(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("conflicts"), "{err}");
+        assert!(parse_faults("{\"bogus\":1}").is_err(), "unknown fault key");
+        assert!(parse_faults("not json").is_err());
+    }
+
+    #[test]
+    fn probe_cap_flag() {
+        let o = parse(&argv("--alg k-cycle --probe-cap 500")).unwrap();
+        assert_eq!(o.probe_cap, Some(500));
+        assert_eq!(o.to_spec().probe_cap, Some(500));
+        assert!(parse(&argv("--alg k-cycle --probe-cap 0")).unwrap_err().contains("positive"));
+        assert!(parse(&argv("--alg k-cycle --probe-cap x")).is_err());
     }
 
     #[test]

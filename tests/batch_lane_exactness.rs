@@ -16,7 +16,7 @@
 use emac::registry::Registry;
 use emac_core::campaign::{execute_batch, Campaign, ScenarioSpec};
 use emac_core::digest::report_digest_hex;
-use emac_sim::Rate;
+use emac_sim::{FaultSpec, Rate};
 
 const N: usize = 8;
 const K: usize = 4;
@@ -68,28 +68,111 @@ fn matrix() -> Vec<ScenarioSpec> {
     specs
 }
 
+fn assert_lane_exact(spec: &ScenarioSpec) {
+    let label = spec.display_label();
+    let lanes = execute_batch(spec, &SEEDS, &Registry)
+        .unwrap_or_else(|e| panic!("{label}: batch failed: {e}"));
+    assert_eq!(lanes.len(), SEEDS.len());
+    for (&seed, lane) in SEEDS.iter().zip(&lanes) {
+        let mut solo_spec = spec.clone();
+        solo_spec.seed = seed;
+        let solo = Campaign::new().threads(1).run(std::slice::from_ref(&solo_spec), &Registry);
+        let solo = solo.runs[0]
+            .outcome
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{label} seed {seed}: solo failed: {e}"));
+        assert_eq!(
+            report_digest_hex(lane),
+            report_digest_hex(solo),
+            "{label}: lane digest for seed {seed} diverged from the solo run"
+        );
+    }
+}
+
 #[test]
 fn every_matrix_scenario_is_lane_exact() {
     let specs = matrix();
     assert_eq!(specs.len(), 52, "matrix drifted from the golden registry");
     for spec in specs {
-        let label = spec.display_label();
-        let lanes = execute_batch(&spec, &SEEDS, &Registry)
-            .unwrap_or_else(|e| panic!("{label}: batch failed: {e}"));
-        assert_eq!(lanes.len(), SEEDS.len());
-        for (&seed, lane) in SEEDS.iter().zip(&lanes) {
-            let mut solo_spec = spec.clone();
-            solo_spec.seed = seed;
-            let solo = Campaign::new().threads(1).run(std::slice::from_ref(&solo_spec), &Registry);
-            let solo = solo.runs[0]
-                .outcome
-                .as_ref()
-                .unwrap_or_else(|e| panic!("{label} seed {seed}: solo failed: {e}"));
-            assert_eq!(
-                report_digest_hex(lane),
-                report_digest_hex(solo),
-                "{label}: lane digest for seed {seed} diverged from the solo run"
-            );
+        assert_lane_exact(&spec);
+    }
+}
+
+/// Lane exactness under every fault family. Jamming and deaf rounds keep
+/// the lockstep shared-schedule path (the fault stream is lane-independent
+/// and touches no wake state); crash and skew change the wake set, so the
+/// batch falls back to per-lane stepping — both routes must stay
+/// bit-for-bit equal to solo runs. Scenarios cover the periodic-schedule
+/// path (k-cycle, shared wake cache) and the aperiodic per-lane fallback
+/// (duty-cycle); the control-message algorithms (count-hop, orchestra,
+/// adjust-window) assume a reliable channel by construction and abort when
+/// jamming eats a message they must hear, so only the wake-only skew
+/// family covers the adaptive route (below).
+#[test]
+fn faulty_scenarios_are_lane_exact() {
+    let families: &[(&str, FaultSpec)] = &[
+        ("jam", FaultSpec { jam: Rate::new(1, 10), seed: 5, ..Default::default() }),
+        (
+            "crash-retain",
+            FaultSpec {
+                crash: Rate::new(1, 200),
+                crash_len: 48,
+                retain_queue: true,
+                seed: 5,
+                ..Default::default()
+            },
+        ),
+        (
+            "crash-loss",
+            FaultSpec {
+                crash: Rate::new(1, 200),
+                crash_len: 48,
+                retain_queue: false,
+                seed: 5,
+                ..Default::default()
+            },
+        ),
+        ("deaf", FaultSpec { deaf: Rate::new(1, 6), seed: 5, ..Default::default() }),
+        ("skew", FaultSpec { skew: 3, seed: 5, ..Default::default() }),
+        (
+            "all-at-once",
+            FaultSpec {
+                jam: Rate::new(1, 16),
+                crash: Rate::new(1, 300),
+                crash_len: 32,
+                retain_queue: false,
+                deaf: Rate::new(1, 12),
+                skew: 2,
+                seed: 5,
+            },
+        ),
+    ];
+    for (tag, faults) in families {
+        for alg in ["k-cycle", "duty-cycle"] {
+            let spec = ScenarioSpec::new(alg, "uniform")
+                .n(N)
+                .k(K)
+                .rho(Rate::new(1, 8))
+                .rounds(ROUNDS)
+                .seed(7)
+                .faults(faults.clone())
+                .label(format!("{alg}|uniform|faults={tag}"));
+            assert_lane_exact(&spec);
         }
     }
+
+    // Adaptive algorithms keep their own timers, so clock skew is the one
+    // family that is defined for them (it only offsets `OnSchedule`
+    // lookups); an active wake-affecting plan still forces the batch onto
+    // the per-lane fallback, which must stay lane-exact for the adaptive
+    // stepping path too.
+    let spec = ScenarioSpec::new("count-hop", "uniform")
+        .n(N)
+        .k(K)
+        .rho(Rate::new(1, 8))
+        .rounds(ROUNDS)
+        .seed(7)
+        .faults(FaultSpec { skew: 3, seed: 5, ..Default::default() })
+        .label("count-hop|uniform|faults=skew");
+    assert_lane_exact(&spec);
 }

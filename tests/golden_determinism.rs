@@ -361,6 +361,53 @@ fn frontier_band_csv_digest_matches_golden_at_any_thread_count() {
     }
 }
 
+/// Pinned digest of `specs/frontier_kcycle_jammed.json`'s CSV: the first
+/// stability surface the paper could not state. With ρ fixed at `0.9 *
+/// group_share` (comfortably stable on a clean channel), k-Cycle's jamming
+/// tolerance lands at jam ≈ 0.117 for both map points — the channel's
+/// spare capacity `1 − 0.9 = 0.1` plus the slack the finite probe horizon
+/// affords, and independent of n because both ρ and the schedule share
+/// scale with `1/ℓ`.
+const FRONTIER_JAMMED_CSV_GOLDEN: &str = "31a3d6d0a5d33107";
+
+#[test]
+fn jammed_frontier_csv_digest_matches_golden_at_any_thread_count() {
+    use emac_core::frontier::{CsvMapSink, Frontier, FrontierSpec};
+
+    let text = std::fs::read_to_string("specs/frontier_kcycle_jammed.json").unwrap();
+    let spec = FrontierSpec::parse(&text).unwrap();
+    let run = |threads: usize| -> String {
+        let mut sink = CsvMapSink::new(Vec::new());
+        Frontier::new().threads(threads).run_into(&spec, &Registry, &mut sink, None).unwrap();
+        String::from_utf8(sink.into_inner()).unwrap()
+    };
+    let serial = run(1);
+    assert_eq!(serial, run(4), "jammed map must not depend on the thread count");
+
+    // The robustness claim on the bytes themselves: the boundary sits
+    // above the clean-channel spare capacity (1 - 0.9 = 0.1) but well
+    // below the half-jammed channel that would drown ρ outright.
+    for row in serial.lines().skip(1) {
+        let fields: Vec<&str> = row.split(',').collect();
+        let boundary: f64 = fields[5].parse().unwrap();
+        assert!(
+            (0.1..0.25).contains(&boundary),
+            "jam boundary {boundary} outside the spare-capacity window"
+        );
+        assert_eq!(fields[7], "converged", "{row}");
+    }
+
+    let actual = format!("{:016x}", Fnv64::new().bytes(serial.as_bytes()).finish());
+    if actual != FRONTIER_JAMMED_CSV_GOLDEN {
+        println!("--- jammed CSV (re-pin the digest below after justifying the change) ---");
+        print!("{serial}");
+        panic!(
+            "jammed-map CSV digest diverged: expected {FRONTIER_JAMMED_CSV_GOLDEN}, got {actual}; \
+             full CSV printed above"
+        );
+    }
+}
+
 #[test]
 fn digests_are_stable_across_repeated_runs_and_thread_counts() {
     // A slice of the matrix, run serially and in parallel: identical digests.
