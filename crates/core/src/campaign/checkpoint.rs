@@ -34,10 +34,15 @@
 
 use std::collections::BTreeSet;
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::Write;
 use std::path::{Path, PathBuf};
 
 use super::ScenarioSpec;
+use crate::ckptio::repair_torn_tail;
+// Re-exported where it historically lived; the implementation moved to
+// [`crate::ckptio`] when the frontier checkpoint and shard claim log
+// became additional consumers.
+pub use crate::ckptio::truncate_after_lines;
 use crate::digest::Fnv64;
 
 const MAGIC: &str = "emac-campaign-ckpt v1";
@@ -134,84 +139,22 @@ impl Checkpoint {
     }
 }
 
-/// Physically remove a torn trailing fragment the checkpoint parser
-/// ignored. Without this, lines appended after a resume would start in the
-/// middle of the torn bytes and merge into one garbage line, so a *second*
-/// resume (after another kill) would refuse the file. Both checkpoint
-/// formats share the 3-line `magic / digest / total-or-points` header; a
-/// tear inside the header that still parsed (the final newline alone is
-/// missing) is completed rather than truncated.
-pub(crate) fn repair_torn_tail(path: &Path, text: &str) -> std::io::Result<()> {
-    if text.ends_with('\n') || text.is_empty() {
-        return Ok(());
-    }
-    if text.bytes().filter(|&b| b == b'\n').count() >= 3 {
-        let keep = text.rfind('\n').map_or(0, |i| i + 1);
-        let file = OpenOptions::new().write(true).open(path)?;
-        file.set_len(keep as u64)?;
-        file.sync_data()?;
-    } else {
-        let mut file = OpenOptions::new().append(true).open(path)?;
-        file.write_all(b"\n")?;
-        file.sync_data()?;
-    }
-    Ok(())
-}
-
-/// Reconcile a streaming output file with its checkpoint before resuming:
-/// keep exactly the first `lines` newline-terminated lines (the header, if
-/// any, plus one row per checkpointed scenario) and truncate everything
-/// after them — unrecorded complete rows (kill between output fsync and
-/// checkpoint append) and torn trailing fragments (kill mid-write) alike.
-/// The dropped scenarios re-execute, so the resumed output stays
-/// byte-identical to an uninterrupted run.
-///
-/// Returns `Ok(Some(dropped_bytes))` on success, or `Ok(None)` if the
-/// file holds *fewer* complete lines than the checkpoint records — an
-/// inconsistency (e.g. a manually edited or replaced output file) the
-/// caller must refuse to resume from. Streams in fixed-size chunks, so
-/// arbitrarily large outputs reconcile in constant memory.
-pub fn truncate_after_lines(path: &Path, lines: u64) -> std::io::Result<Option<u64>> {
-    let mut file = OpenOptions::new().read(true).write(true).open(path)?;
-    let len = file.metadata()?.len();
-    if lines == 0 {
-        if len != 0 {
-            file.set_len(0)?;
-            file.sync_data()?;
-        }
-        return Ok(Some(len));
-    }
-    let mut buf = [0u8; 8192];
-    let mut seen = 0u64;
-    let mut keep = 0u64;
-    file.seek(SeekFrom::Start(0))?;
-    'scan: loop {
-        let n = file.read(&mut buf)?;
-        if n == 0 {
-            break;
-        }
-        for (i, &b) in buf[..n].iter().enumerate() {
-            if b == b'\n' {
-                seen += 1;
-                if seen == lines {
-                    keep = keep + i as u64 + 1;
-                    break 'scan;
-                }
-            }
-        }
-        keep += n as u64;
-    }
-    if seen < lines {
-        return Ok(None);
-    }
-    if keep != len {
-        file.set_len(keep)?;
-        file.sync_data()?;
-    }
-    Ok(Some(len - keep))
-}
-
 fn parse_body(text: &str, digest: u64, total: usize) -> Result<BTreeSet<usize>, String> {
+    parse_done_ordered(text, digest, total).map(|done| done.into_iter().collect())
+}
+
+/// Parse a campaign checkpoint body preserving the *order* in which `done`
+/// lines were appended. The executor appends them in sink-acceptance
+/// order, so the j-th entry names the scenario behind the j-th output row
+/// — the pairing `shard::merge` relies on to stitch shard outputs whose
+/// row order is not globally ascending. A duplicate index is refused here
+/// (it would desynchronise that pairing), which a set-based parse would
+/// silently absorb.
+pub(crate) fn parse_done_ordered(
+    text: &str,
+    digest: u64,
+    total: usize,
+) -> Result<Vec<usize>, String> {
     let mut lines = text.split('\n');
     if lines.next() != Some(MAGIC) {
         return Err("not a campaign checkpoint (bad magic line)".into());
@@ -239,7 +182,8 @@ fn parse_body(text: &str, digest: u64, total: usize) -> Result<BTreeSet<usize>, 
              refusing to resume"
         ));
     }
-    let mut done = BTreeSet::new();
+    let mut done = Vec::new();
+    let mut seen = BTreeSet::new();
     // A file killed mid-append may end in a torn fragment; everything
     // before the final newline is trustworthy, the tail is not.
     let body: Vec<&str> = lines.collect();
@@ -255,7 +199,10 @@ fn parse_body(text: &str, digest: u64, total: usize) -> Result<BTreeSet<usize>, 
         if index >= total {
             return Err(format!("checkpoint records scenario {index} of a {total}-scenario run"));
         }
-        done.insert(index);
+        if !seen.insert(index) {
+            return Err(format!("checkpoint records scenario {index} twice"));
+        }
+        done.push(index);
     }
     Ok(done)
 }
@@ -348,33 +295,12 @@ mod tests {
     }
 
     #[test]
-    fn truncate_after_lines_reconciles_output_tails() {
-        let path = temp_path("truncate");
-        // 3 complete rows + a torn fragment; keeping 2 drops "row2\ntorn"
-        std::fs::write(&path, "row0\nrow1\nrow2\ntorn").unwrap();
-        assert_eq!(truncate_after_lines(&path, 2).unwrap(), Some(9));
-        assert_eq!(std::fs::read_to_string(&path).unwrap(), "row0\nrow1\n");
-        // already exact: nothing dropped
-        assert_eq!(truncate_after_lines(&path, 2).unwrap(), Some(0));
-        // fewer lines than the checkpoint records: inconsistent
-        assert_eq!(truncate_after_lines(&path, 3).unwrap(), None);
-        // zero lines: empty the file
-        assert_eq!(truncate_after_lines(&path, 0).unwrap(), Some(10));
-        assert_eq!(std::fs::read_to_string(&path).unwrap(), "");
-        let _ = std::fs::remove_file(&path);
-        // missing file is an io error for the caller
-        assert!(truncate_after_lines(&path, 1).is_err());
-    }
-
-    #[test]
-    fn truncate_after_lines_streams_across_chunks() {
-        let path = temp_path("truncate-big");
-        // rows long enough that the target newline sits beyond one 8 KiB chunk
-        let row = "x".repeat(5_000);
-        std::fs::write(&path, format!("{row}\n{row}\n{row}\npartial")).unwrap();
-        assert_eq!(truncate_after_lines(&path, 2).unwrap(), Some(5_001 + 7));
-        assert_eq!(std::fs::metadata(&path).unwrap().len(), 2 * 5_001);
-        let _ = std::fs::remove_file(&path);
+    fn ordered_parse_preserves_append_order_and_refuses_duplicates() {
+        let head = format!("{MAGIC}\ndigest {:016x}\ntotal 6\n", 5u64);
+        let done = parse_done_ordered(&format!("{head}done 4\ndone 1\ndone 3\n"), 5, 6).unwrap();
+        assert_eq!(done, vec![4, 1, 3], "append order preserved, not sorted");
+        let err = parse_done_ordered(&format!("{head}done 2\ndone 2\n"), 5, 6).unwrap_err();
+        assert!(err.contains("scenario 2 twice"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,162 @@
+//! Shared checkpoint-file I/O: torn-tail repair and output reconciliation.
+//!
+//! Every append-only, fsync'd progress file in this crate — the campaign
+//! checkpoint, the frontier checkpoint, and the shard claim log — shares
+//! one physical format problem: a `kill -9` mid-append leaves a torn final
+//! fragment with no trailing newline. The parsers all *ignore* that
+//! fragment (everything before the last newline is trustworthy), but the
+//! bytes must also be physically removed before new lines are appended,
+//! or the next append merges into the torn tail and poisons the file for
+//! the *second* resume. The helpers here are that shared machinery,
+//! extracted from `campaign::checkpoint` once the frontier checkpoint and
+//! the shard claim log became its second and third consumers.
+
+use std::fs::OpenOptions;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Physically remove a torn trailing fragment a checkpoint parser
+/// ignored. Without this, lines appended after a resume would start in the
+/// middle of the torn bytes and merge into one garbage line, so a *second*
+/// resume (after another kill) would refuse the file. All consumers share
+/// the 3-line `magic / digest / total-or-points-or-units` header; a tear
+/// inside the header that still parsed (the final newline alone is
+/// missing) is completed rather than truncated.
+pub fn repair_torn_tail(path: &Path, text: &str) -> std::io::Result<()> {
+    if text.ends_with('\n') || text.is_empty() {
+        return Ok(());
+    }
+    if text.bytes().filter(|&b| b == b'\n').count() >= 3 {
+        let keep = text.rfind('\n').map_or(0, |i| i + 1);
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(keep as u64)?;
+        file.sync_data()?;
+    } else {
+        let mut file = OpenOptions::new().append(true).open(path)?;
+        file.write_all(b"\n")?;
+        file.sync_data()?;
+    }
+    Ok(())
+}
+
+/// Reconcile a streaming output file with its checkpoint before resuming:
+/// keep exactly the first `lines` newline-terminated lines (the header, if
+/// any, plus one row per checkpointed scenario) and truncate everything
+/// after them — unrecorded complete rows (kill between output fsync and
+/// checkpoint append) and torn trailing fragments (kill mid-write) alike.
+/// The dropped scenarios re-execute, so the resumed output stays
+/// byte-identical to an uninterrupted run.
+///
+/// Returns `Ok(Some(dropped_bytes))` on success, or `Ok(None)` if the
+/// file holds *fewer* complete lines than the checkpoint records — an
+/// inconsistency (e.g. a manually edited or replaced output file) the
+/// caller must refuse to resume from. Streams in fixed-size chunks, so
+/// arbitrarily large outputs reconcile in constant memory.
+pub fn truncate_after_lines(path: &Path, lines: u64) -> std::io::Result<Option<u64>> {
+    let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+    let len = file.metadata()?.len();
+    if lines == 0 {
+        if len != 0 {
+            file.set_len(0)?;
+            file.sync_data()?;
+        }
+        return Ok(Some(len));
+    }
+    let mut buf = [0u8; 8192];
+    let mut seen = 0u64;
+    let mut keep = 0u64;
+    file.seek(SeekFrom::Start(0))?;
+    'scan: loop {
+        let n = file.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        for (i, &b) in buf[..n].iter().enumerate() {
+            if b == b'\n' {
+                seen += 1;
+                if seen == lines {
+                    keep = keep + i as u64 + 1;
+                    break 'scan;
+                }
+            }
+        }
+        keep += n as u64;
+    }
+    if seen < lines {
+        return Ok(None);
+    }
+    if keep != len {
+        file.set_len(keep)?;
+        file.sync_data()?;
+    }
+    Ok(Some(len - keep))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("emac-ckptio-unit-{}-{tag}.txt", std::process::id()))
+    }
+
+    #[test]
+    fn truncate_after_lines_reconciles_output_tails() {
+        let path = temp_path("truncate");
+        // 3 complete rows + a torn fragment; keeping 2 drops "row2\ntorn"
+        std::fs::write(&path, "row0\nrow1\nrow2\ntorn").unwrap();
+        assert_eq!(truncate_after_lines(&path, 2).unwrap(), Some(9));
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "row0\nrow1\n");
+        // already exact: nothing dropped
+        assert_eq!(truncate_after_lines(&path, 2).unwrap(), Some(0));
+        // fewer lines than the checkpoint records: inconsistent
+        assert_eq!(truncate_after_lines(&path, 3).unwrap(), None);
+        // zero lines: empty the file
+        assert_eq!(truncate_after_lines(&path, 0).unwrap(), Some(10));
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "");
+        let _ = std::fs::remove_file(&path);
+        // missing file is an io error for the caller
+        assert!(truncate_after_lines(&path, 1).is_err());
+    }
+
+    #[test]
+    fn truncate_after_lines_streams_across_chunks() {
+        let path = temp_path("truncate-big");
+        // rows long enough that the target newline sits beyond one 8 KiB chunk
+        let row = "x".repeat(5_000);
+        std::fs::write(&path, format!("{row}\n{row}\n{row}\npartial")).unwrap();
+        assert_eq!(truncate_after_lines(&path, 2).unwrap(), Some(5_001 + 7));
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 2 * 5_001);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn repair_truncates_body_tears_and_completes_header_tears() {
+        // A torn body line (the file already holds the 3-line header) is
+        // physically truncated back to the last newline.
+        let path = temp_path("repair-body");
+        let text = "magic\ndigest 0\ntotal 2\ndone 0\ndone 1";
+        std::fs::write(&path, text).unwrap();
+        repair_torn_tail(&path, text).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "magic\ndigest 0\ntotal 2\ndone 0\n");
+        let _ = std::fs::remove_file(&path);
+
+        // A tear inside the header that still parsed (only the final
+        // newline is missing) is newline-completed, not truncated.
+        let path = temp_path("repair-header");
+        let text = "magic\ndigest 0\ntotal 2";
+        std::fs::write(&path, text).unwrap();
+        repair_torn_tail(&path, text).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "magic\ndigest 0\ntotal 2\n");
+        let _ = std::fs::remove_file(&path);
+
+        // Clean files (and empty ones) are left untouched.
+        let path = temp_path("repair-clean");
+        std::fs::write(&path, "a\nb\n").unwrap();
+        repair_torn_tail(&path, "a\nb\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "a\nb\n");
+        repair_torn_tail(&path, "").unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+}

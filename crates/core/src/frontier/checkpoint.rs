@@ -57,12 +57,23 @@ pub struct ProbeRecord {
 
 /// Persistent record of probe verdicts and emitted rows — see the module
 /// docs for the format and durability contract.
+///
+/// A checkpoint is either *sequential* (the default: rows must arrive in
+/// map order, `0, 1, 2, …` — what a single-process run emits) or *sharded*
+/// ([`fresh_sharded`](Self::fresh_sharded) /
+/// [`resume_sharded`](Self::resume_sharded)): a shard worker claims work
+/// units in lease order, which is not globally ascending once it starts
+/// stealing, so its rows may arrive in any order as long as each map point
+/// is recorded at most once. The j-th `row` line still names the point
+/// behind the j-th output row — the pairing `shard::merge` uses to stitch
+/// shard outputs back into map order.
 #[derive(Debug)]
 pub struct FrontierCheckpoint {
     path: PathBuf,
     points: usize,
     probes: Vec<ProbeRecord>,
-    rows: usize,
+    rows: Vec<usize>,
+    sequential: bool,
     file: File,
 }
 
@@ -88,33 +99,70 @@ impl FrontierCheckpoint {
     /// for a map of `points` points whose spec digests to `digest`
     /// ([`FrontierSpec::digest`](super::FrontierSpec::digest)).
     pub fn fresh(path: &Path, digest: u64, points: usize) -> Result<Self, String> {
+        Self::fresh_mode(path, digest, points, true)
+    }
+
+    /// Like [`fresh`](Self::fresh), but for a shard worker: rows may be
+    /// recorded in any order (each point at most once).
+    pub fn fresh_sharded(path: &Path, digest: u64, points: usize) -> Result<Self, String> {
+        Self::fresh_mode(path, digest, points, false)
+    }
+
+    fn fresh_mode(
+        path: &Path,
+        digest: u64,
+        points: usize,
+        sequential: bool,
+    ) -> Result<Self, String> {
         let mut file =
             File::create(path).map_err(|e| format!("checkpoint {}: {e}", path.display()))?;
         file.write_all(format!("{MAGIC}\ndigest {digest:016x}\npoints {points}\n").as_bytes())
             .and_then(|()| file.sync_all())
             .map_err(|e| format!("checkpoint {}: {e}", path.display()))?;
-        Ok(Self { path: path.to_path_buf(), points, probes: Vec::new(), rows: 0, file })
+        Ok(Self {
+            path: path.to_path_buf(),
+            points,
+            probes: Vec::new(),
+            rows: Vec::new(),
+            sequential,
+            file,
+        })
     }
 
     /// Resume from `path`, verifying the digest and point count. A missing
     /// file starts fresh; a mismatch is refused.
     pub fn resume(path: &Path, digest: u64, points: usize) -> Result<Self, String> {
+        Self::resume_mode(path, digest, points, true)
+    }
+
+    /// Like [`resume`](Self::resume), but for a shard worker: recorded
+    /// rows may appear in any order (each point at most once).
+    pub fn resume_sharded(path: &Path, digest: u64, points: usize) -> Result<Self, String> {
+        Self::resume_mode(path, digest, points, false)
+    }
+
+    fn resume_mode(
+        path: &Path,
+        digest: u64,
+        points: usize,
+        sequential: bool,
+    ) -> Result<Self, String> {
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                return Self::fresh(path, digest, points);
+                return Self::fresh_mode(path, digest, points, sequential);
             }
             Err(e) => return Err(format!("checkpoint {}: {e}", path.display())),
         };
-        let (probes, rows) = parse_body(&text, digest, points)
+        let (probes, rows) = parse_body(&text, digest, points, sequential)
             .map_err(|e| format!("checkpoint {}: {e}", path.display()))?;
-        crate::campaign::checkpoint::repair_torn_tail(path, &text)
+        crate::ckptio::repair_torn_tail(path, &text)
             .map_err(|e| format!("checkpoint {}: {e}", path.display()))?;
         let file = OpenOptions::new()
             .append(true)
             .open(path)
             .map_err(|e| format!("checkpoint {}: {e}", path.display()))?;
-        Ok(Self { path: path.to_path_buf(), points, probes, rows, file })
+        Ok(Self { path: path.to_path_buf(), points, probes, rows, sequential, file })
     }
 
     /// Record one solo probe verdict for map point `point`. Appended and
@@ -147,20 +195,38 @@ impl FrontierCheckpoint {
         Ok(())
     }
 
-    /// Record that map point `index`'s output row is durably written.
-    /// Rows are emitted in map order, so `index` must be the next row.
+    /// Record that map point `index`'s output row is durably written. A
+    /// sequential checkpoint requires `index` to be the next row in map
+    /// order; a sharded one accepts any order but refuses a point recorded
+    /// twice.
     pub fn record_row(&mut self, index: usize) -> Result<(), String> {
-        if index != self.rows {
-            return Err(format!(
-                "checkpoint {}: row {index} recorded out of order (expected {})",
-                self.path.display(),
-                self.rows
-            ));
+        if self.sequential {
+            if index != self.rows.len() {
+                return Err(format!(
+                    "checkpoint {}: row {index} recorded out of order (expected {})",
+                    self.path.display(),
+                    self.rows.len()
+                ));
+            }
+        } else {
+            if index >= self.points {
+                return Err(format!(
+                    "checkpoint {}: row {index} of a {}-point map",
+                    self.path.display(),
+                    self.points
+                ));
+            }
+            if self.rows.contains(&index) {
+                return Err(format!(
+                    "checkpoint {}: row {index} recorded twice",
+                    self.path.display()
+                ));
+            }
         }
         writeln!(self.file, "row {index}")
             .and_then(|()| self.file.sync_data())
             .map_err(|e| format!("checkpoint {}: {e}", self.path.display()))?;
-        self.rows += 1;
+        self.rows.push(index);
         Ok(())
     }
 
@@ -173,7 +239,15 @@ impl FrontierCheckpoint {
     /// count (minus any CSV header) to reconcile the output file to before
     /// resuming.
     pub fn rows_written(&self) -> usize {
-        self.rows
+        self.rows.len()
+    }
+
+    /// The recorded row indices in recording order: the j-th entry is the
+    /// map point behind the j-th output row. For a sequential checkpoint
+    /// this is always `0, 1, 2, …`; for a sharded one it is the shard's
+    /// claim-and-emit order.
+    pub fn row_indices(&self) -> &[usize] {
+        &self.rows
     }
 
     /// The map size this checkpoint tracks.
@@ -182,9 +256,17 @@ impl FrontierCheckpoint {
     }
 }
 
-type Parsed = (Vec<ProbeRecord>, usize);
+type Parsed = (Vec<ProbeRecord>, Vec<usize>);
 
-fn parse_body(text: &str, digest: u64, points: usize) -> Result<Parsed, String> {
+/// Read-only parse of a *sharded* checkpoint file's text: `(probes, row
+/// indices in append order)`. Used by `shard::merge`, which must inspect
+/// worker checkpoints without opening them for append (and without
+/// creating missing ones, as a resume would).
+pub(crate) fn parse_sharded(text: &str, digest: u64, points: usize) -> Result<Parsed, String> {
+    parse_body(text, digest, points, false)
+}
+
+fn parse_body(text: &str, digest: u64, points: usize, sequential: bool) -> Result<Parsed, String> {
     let mut lines = text.split('\n');
     if lines.next() != Some(MAGIC) {
         return Err("not a frontier checkpoint (bad magic line)".into());
@@ -213,7 +295,7 @@ fn parse_body(text: &str, digest: u64, points: usize) -> Result<Parsed, String> 
         ));
     }
     let mut probes = Vec::new();
-    let mut rows = 0usize;
+    let mut rows: Vec<usize> = Vec::new();
     let body: Vec<&str> = lines.collect();
     // A kill mid-append may leave a torn final fragment; everything before
     // the last newline is trustworthy.
@@ -246,16 +328,28 @@ fn parse_body(text: &str, digest: u64, points: usize) -> Result<Parsed, String> 
             probes.push(ProbeRecord { point, verdict, lanes });
         } else if let Some(index) = line.strip_prefix("row ") {
             let index: usize = index.parse().map_err(|_| format!("malformed row line {line:?}"))?;
-            if index != rows {
-                return Err(format!("row {index} recorded out of order (expected {rows})"));
+            if sequential {
+                if index != rows.len() {
+                    return Err(format!(
+                        "row {index} recorded out of order (expected {})",
+                        rows.len()
+                    ));
+                }
+            } else {
+                if index >= points {
+                    return Err(format!("row {index} of a {points}-point map"));
+                }
+                if rows.contains(&index) {
+                    return Err(format!("row {index} recorded twice"));
+                }
             }
-            rows += 1;
+            rows.push(index);
         } else {
             return Err(format!("malformed checkpoint line {line:?}"));
         }
     }
-    if rows > points {
-        return Err(format!("checkpoint records {rows} rows of a {points}-point map"));
+    if rows.len() > points {
+        return Err(format!("checkpoint records {} rows of a {points}-point map", rows.len()));
     }
     Ok((probes, rows))
 }
@@ -394,6 +488,30 @@ mod tests {
             );
             let _ = std::fs::remove_file(&path);
         }
+    }
+
+    #[test]
+    fn sharded_mode_accepts_any_row_order_but_refuses_duplicates() {
+        let path = temp_path("sharded");
+        let mut ck = FrontierCheckpoint::fresh_sharded(&path, 0xcafe, 4).unwrap();
+        ck.record_probe(3, Verdict::Stable).unwrap();
+        ck.record_row(3).unwrap(); // out of map order: fine for a shard
+        ck.record_row(0).unwrap();
+        assert!(ck.record_row(3).unwrap_err().contains("recorded twice"));
+        assert!(ck.record_row(9).unwrap_err().contains("of a 4-point map"));
+        drop(ck);
+        let ck = FrontierCheckpoint::resume_sharded(&path, 0xcafe, 4).unwrap();
+        assert_eq!(ck.row_indices(), &[3, 0], "append order preserved");
+        assert_eq!(ck.rows_written(), 2);
+        // the same file is refused by a sequential resume…
+        let err = FrontierCheckpoint::resume(&path, 0xcafe, 4).unwrap_err();
+        assert!(err.contains("out of order"), "{err}");
+        // …and a duplicate row line is refused by the sharded parser
+        std::fs::write(&path, format!("{MAGIC}\ndigest {:016x}\npoints 4\nrow 1\nrow 1\n", 5u64))
+            .unwrap();
+        let err = FrontierCheckpoint::resume_sharded(&path, 5, 4).unwrap_err();
+        assert!(err.contains("row 1 recorded twice"), "{err}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

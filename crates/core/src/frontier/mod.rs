@@ -1257,6 +1257,45 @@ impl Frontier {
         spec: &FrontierSpec,
         factory: &F,
         sink: &mut dyn MapSink,
+        checkpoint: Option<&mut FrontierCheckpoint>,
+    ) -> Result<FrontierSummary, String>
+    where
+        F: ScenarioFactory + Sync,
+    {
+        let all: Vec<usize> = (0..spec.points().len()).collect();
+        self.run_core(spec, &all, factory, sink, checkpoint)
+    }
+
+    /// Run only the map points in `indices` (strictly ascending global
+    /// indices) — the shard worker's entry point. Rows are emitted in
+    /// ascending `indices` order carrying their *global* map indices, so a
+    /// merged fleet run reproduces the single-process bytes exactly. The
+    /// checkpoint is shared across a shard's units
+    /// ([`FrontierCheckpoint::fresh_sharded`]): replay skips probes of
+    /// points outside `indices`, and this subset's recorded rows must form
+    /// an in-order prefix of `indices`. A continuation point's predecessor
+    /// must be in the subset (work units are whole chains), refused
+    /// otherwise.
+    pub fn run_subset_into<F>(
+        &self,
+        spec: &FrontierSpec,
+        indices: &[usize],
+        factory: &F,
+        sink: &mut dyn MapSink,
+        checkpoint: Option<&mut FrontierCheckpoint>,
+    ) -> Result<FrontierSummary, String>
+    where
+        F: ScenarioFactory + Sync,
+    {
+        self.run_core(spec, indices, factory, sink, checkpoint)
+    }
+
+    fn run_core<F>(
+        &self,
+        spec: &FrontierSpec,
+        indices: &[usize],
+        factory: &F,
+        sink: &mut dyn MapSink,
         mut checkpoint: Option<&mut FrontierCheckpoint>,
     ) -> Result<FrontierSummary, String>
     where
@@ -1269,6 +1308,30 @@ impl Frontier {
             .enumerate()
             .map(|(i, &p)| PointSearch::new(spec, i, p))
             .collect::<Result<_, _>>()?;
+
+        let mut member = vec![false; searches.len()];
+        for (pos, &i) in indices.iter().enumerate() {
+            if i >= searches.len() {
+                return Err(format!(
+                    "subset index {i} out of range for a {}-point map",
+                    searches.len()
+                ));
+            }
+            if pos > 0 && indices[pos - 1] >= i {
+                return Err("subset indices must be strictly ascending".into());
+            }
+            member[i] = true;
+        }
+        for &i in indices {
+            if let Some(pred) = searches[i].waiting_on {
+                if !member[pred] {
+                    return Err(format!(
+                        "map point {i} continues from point {pred}, which is outside this \
+                         subset; continuation chains must stay on one shard"
+                    ));
+                }
+            }
+        }
 
         // Replay checkpointed probes: bisection is deterministic in the
         // verdict sequence, so the brackets land exactly where the killed
@@ -1288,6 +1351,11 @@ impl Frontier {
                 let p = rec.point;
                 if p >= searches.len() {
                     return Err(format!("checkpoint records out-of-range map point {p}"));
+                }
+                if !member[p] {
+                    // Another unit's probe (a sharded checkpoint is shared
+                    // across all units a shard claims) — not ours to replay.
+                    continue;
                 }
                 if searches[p].phase == Phase::Waiting {
                     let pred = searches[p].waiting_on.expect("waiting points have a predecessor");
@@ -1321,14 +1389,21 @@ impl Frontier {
                     }
                 }
             }
-            emitted = ck.rows_written();
-            if searches.iter().take(emitted).any(|s| !s.done()) {
+            let recorded: Vec<usize> =
+                ck.row_indices().iter().copied().filter(|&i| member[i]).collect();
+            if recorded.as_slice() != &indices[..recorded.len()] {
+                return Err(
+                    "checkpoint rows for this subset are out of order; refusing to resume".into()
+                );
+            }
+            emitted = recorded.len();
+            if indices[..emitted].iter().any(|&i| !searches[i].done()) {
                 return Err("checkpoint rows outrun its probes; refusing to resume".into());
             }
         }
 
         let mut summary = FrontierSummary {
-            points: searches.len(),
+            points: indices.len(),
             completed: emitted,
             probes_run: 0,
             waves: 0,
@@ -1339,7 +1414,7 @@ impl Frontier {
             // Activate continuation points whose predecessor finished —
             // the warm bracket depends only on that point's final state,
             // never on wave or thread scheduling.
-            for i in 0..searches.len() {
+            for &i in indices {
                 if searches[i].phase == Phase::Waiting {
                     let pred = searches[i].waiting_on.expect("waiting points have a predecessor");
                     if let Phase::Done(status) = searches[pred].phase {
@@ -1352,22 +1427,23 @@ impl Frontier {
             // Emit rows in map order as soon as every earlier point is out
             // of the way — resumed and uninterrupted runs write identical
             // bytes because this cursor never skips ahead.
-            while emitted < searches.len() && searches[emitted].done() {
-                let row = searches[emitted].row(emitted);
+            while emitted < indices.len() && searches[indices[emitted]].done() {
+                let g = indices[emitted];
+                let row = searches[g].row(g);
                 sink.accept(&row)?;
                 if let Some(ck) = checkpoint.as_deref_mut() {
                     sink.sync()?;
-                    ck.record_row(emitted)?;
+                    ck.record_row(g)?;
                 }
                 emitted += 1;
                 summary.completed = emitted;
             }
 
-            if searches.iter().all(|s| s.done()) {
+            if indices.iter().all(|&i| searches[i].done()) {
                 break;
             }
             let wave: Vec<usize> =
-                (0..searches.len()).filter(|&i| searches[i].pending.is_some()).collect();
+                indices.iter().copied().filter(|&i| searches[i].pending.is_some()).collect();
             if wave.is_empty() {
                 // Unreachable by construction: a continuation point's
                 // predecessor always precedes it, so some probe is always

@@ -40,6 +40,7 @@ pub mod balance;
 pub mod baseline;
 pub mod bounds;
 pub mod campaign;
+pub mod ckptio;
 pub mod combinatorics;
 pub mod count_hop;
 pub mod digest;
@@ -49,6 +50,7 @@ pub mod k_cycle;
 pub mod k_subsets;
 pub mod orchestra;
 pub mod runner;
+pub mod shard;
 pub mod stability;
 
 pub use adjust_window::AdjustWindow;

@@ -10,6 +10,10 @@
 //! emac frontier template.json [--axis rho|beta|k|ell|jam_rate] [--tol T] [--escalate S[:D]]
 //!               [--threads N] [--out DIR] [--format csv|jsonl] [--resume] [--max-waves M]
 //! emac frontier --example
+//! emac shard plan spec.json --dir DIR --shards D [--format csv|jsonl] [--detail full|slim]
+//! emac shard run spec.json --dir DIR --shard S [--resume] [--threads N]
+//! emac shard merge --dir DIR [--out FILE]
+//! emac shard status --dir DIR
 //! emac list
 //! ```
 //!
@@ -23,8 +27,11 @@
 //! exit non-zero if any run violates a model invariant (useful in CI).
 //! `frontier` bisects a stability boundary across a map of `(n, k)`
 //! points (see `emac_core::frontier`) with the same checkpoint/resume
-//! discipline. All parsing and construction logic lives in [`emac::cli`]
-//! and [`emac::registry`].
+//! discipline. `shard` splits either kind of run across a fleet of
+//! independent workers that share a work-stealing claim table and merge
+//! back to bytes identical to a single-process run (see
+//! `emac_core::shard`). All parsing and construction logic lives in
+//! [`emac::cli`] and [`emac::registry`].
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -39,6 +46,7 @@ use emac::core::frontier::{
     SearchAxis,
 };
 use emac::core::prelude::*;
+use emac::core::shard::{ShardPlan, ShardRunner};
 use emac::registry::{Registry, ADVERSARIES, ALGORITHMS};
 
 fn main() -> ExitCode {
@@ -47,6 +55,7 @@ fn main() -> ExitCode {
         Some("run") => run(&args[1..]),
         Some("campaign") => campaign(&args[1..]),
         Some("frontier") => frontier(&args[1..]),
+        Some("shard") => shard(&args[1..]),
         Some("list") => {
             list();
             ExitCode::SUCCESS
@@ -71,6 +80,10 @@ fn usage() {
          [--escalate S[:D]] [--threads N] [--out DIR] [--format csv|jsonl]\n           \
          [--resume] [--max-waves M]\n  \
          emac frontier --example   # print an example template\n  \
+         emac shard plan <spec.json> --dir DIR --shards D [--format csv|jsonl] [--detail full|slim]\n  \
+         emac shard run <spec.json> --dir DIR --shard S [--resume] [--threads N]\n  \
+         emac shard merge --dir DIR [--out FILE]\n  \
+         emac shard status --dir DIR\n  \
          emac list"
     );
 }
@@ -511,6 +524,148 @@ fn frontier(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+fn shard(args: &[String]) -> ExitCode {
+    let opts = match cli::parse_shard(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            return ExitCode::from(2);
+        }
+    };
+    let dir = Path::new(&opts.dir);
+    match opts.action {
+        cli::ShardAction::Plan => {
+            let text = match std::fs::read_to_string(&opts.spec_path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: cannot read {}: {e}", opts.spec_path);
+                    return ExitCode::from(2);
+                }
+            };
+            let plan = match ShardPlan::build(&text, opts.format, opts.detail, opts.shards.unwrap())
+                .and_then(|plan| plan.save(dir).map(|()| plan))
+            {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            println!(
+                "planned {} unit(s) ({} row(s)) across {} shard(s) in {} (digest {:016x})",
+                plan.units.len(),
+                plan.total_indices(),
+                plan.slices.len(),
+                dir.display(),
+                plan.digest
+            );
+            for s in &plan.slices {
+                println!("  shard {}: units [{}, {})", s.id, s.lo, s.hi);
+            }
+            ExitCode::SUCCESS
+        }
+        cli::ShardAction::Run => {
+            let text = match std::fs::read_to_string(&opts.spec_path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: cannot read {}: {e}", opts.spec_path);
+                    return ExitCode::from(2);
+                }
+            };
+            let plan = match ShardPlan::load(dir) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match ShardPlan::digest_for(&text, plan.format, plan.detail) {
+                Ok(d) if d == plan.digest => {}
+                Ok(d) => {
+                    eprintln!(
+                        "error: spec digest mismatch between plan and run (plan {:016x}, \
+                         {} digests to {d:016x}); refusing to run against a different spec",
+                        plan.digest, opts.spec_path
+                    );
+                    return ExitCode::from(2);
+                }
+                Err(e) => {
+                    eprintln!("error: {}: {e}", opts.spec_path);
+                    return ExitCode::from(2);
+                }
+            }
+            let shard_id = opts.shard.unwrap();
+            let runner = match ShardRunner::new(dir, plan, shard_id) {
+                Ok(r) => r.threads(opts.threads.unwrap_or(1)),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let summary = match runner.run(&Registry, opts.resume) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!(
+                "shard {shard_id}: ran {} unit(s), {} row(s){}",
+                summary.units_run,
+                summary.rows,
+                if summary.exhausted { "; plan exhausted" } else { "" }
+            );
+            if summary.failed > 0 {
+                eprintln!("warning: {} scenario(s) failed to run", summary.failed);
+                return ExitCode::FAILURE;
+            }
+            if summary.unclean > 0 {
+                eprintln!("warning: {} run(s) violated a model invariant", summary.unclean);
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        cli::ShardAction::Merge => {
+            let plan = match ShardPlan::load(dir) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let out = opts.out.clone().unwrap_or_else(|| {
+                dir.join(format!("merged.{}", plan.out_name().rsplit('.').next().unwrap()))
+                    .display()
+                    .to_string()
+            });
+            match emac::core::shard::merge(dir, Path::new(&out)) {
+                Ok(summary) => {
+                    println!(
+                        "merged {} row(s) from {} shard(s) into {out}",
+                        summary.rows, summary.shards_merged
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        cli::ShardAction::Status => match emac::core::shard::status(dir) {
+            Ok(report) => {
+                print!("{report}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
+            }
+        },
+    }
 }
 
 fn run(args: &[String]) -> ExitCode {

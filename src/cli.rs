@@ -224,6 +224,138 @@ pub fn parse_frontier(args: &[String]) -> Result<FrontierOpts, String> {
     Ok(o)
 }
 
+/// Which `emac shard` sub-action was requested.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardAction {
+    /// `emac shard plan SPEC --dir DIR --shards D`: write the plan and
+    /// claim table.
+    Plan,
+    /// `emac shard run SPEC --dir DIR --shard S`: execute one shard.
+    Run,
+    /// `emac shard merge --dir DIR [--out FILE]`: stitch shard outputs.
+    Merge,
+    /// `emac shard status --dir DIR`: progress report.
+    Status,
+}
+
+/// Parsed command-line options for `emac shard`.
+#[derive(Clone, Debug)]
+pub struct ShardOpts {
+    /// The sub-action (first positional argument).
+    pub action: ShardAction,
+    /// Spec path (`plan` and `run` — `run` re-reads it so its digest can
+    /// be checked against the plan's).
+    pub spec_path: String,
+    /// Shared plan directory (`--dir`, required everywhere).
+    pub dir: String,
+    /// Shard count (`--shards`, `plan` only).
+    pub shards: Option<usize>,
+    /// Shard id (`--shard`, `run` only).
+    pub shard: Option<usize>,
+    /// Output format (`--format`, `plan` only; baked into the plan).
+    pub format: emac_core::shard::ShardFormat,
+    /// Metric detail (`--detail`, `plan` only; baked into the plan).
+    pub detail: MetricsDetail,
+    /// Resume this shard's checkpoint (`--resume`, `run` only).
+    pub resume: bool,
+    /// Worker-thread override (`--threads`, `run` only).
+    pub threads: Option<usize>,
+    /// Merged-output path override (`--out`, `merge` only).
+    pub out: Option<String>,
+}
+
+/// Parse `emac shard` flags. The first positional names the action;
+/// which flags are legal (and required) depends on it.
+pub fn parse_shard(args: &[String]) -> Result<ShardOpts, String> {
+    let mut it = args.iter();
+    let action = match it.next().map(String::as_str) {
+        Some("plan") => ShardAction::Plan,
+        Some("run") => ShardAction::Run,
+        Some("merge") => ShardAction::Merge,
+        Some("status") => ShardAction::Status,
+        Some(other) => {
+            return Err(format!("unknown shard action {other:?} (plan, run, merge, status)"))
+        }
+        None => return Err("shard needs an action (plan, run, merge, status)".into()),
+    };
+    let mut o = ShardOpts {
+        action,
+        spec_path: String::new(),
+        dir: String::new(),
+        shards: None,
+        shard: None,
+        format: emac_core::shard::ShardFormat::Csv,
+        detail: MetricsDetail::Full,
+        resume: false,
+        threads: None,
+        out: None,
+    };
+    let takes_spec = matches!(action, ShardAction::Plan | ShardAction::Run);
+    while let Some(arg) = it.next() {
+        let mut value =
+            || it.next().map(String::as_str).ok_or_else(|| format!("{arg} needs a value"));
+        let wrong = |flag: &str, action: &str| format!("{flag} is only for `emac shard {action}`");
+        match arg.as_str() {
+            "--dir" => o.dir = value()?.to_string(),
+            "--shards" if action == ShardAction::Plan => {
+                o.shards = Some(value()?.parse().map_err(|e| format!("--shards: {e}"))?)
+            }
+            "--shards" => return Err(wrong("--shards", "plan")),
+            "--shard" if action == ShardAction::Run => {
+                o.shard = Some(value()?.parse().map_err(|e| format!("--shard: {e}"))?)
+            }
+            "--shard" => return Err(wrong("--shard", "run")),
+            "--format" if action == ShardAction::Plan => {
+                o.format = match value()? {
+                    "csv" => emac_core::shard::ShardFormat::Csv,
+                    "jsonl" => emac_core::shard::ShardFormat::JsonLines,
+                    other => return Err(format!("--format must be csv or jsonl, got {other:?}")),
+                }
+            }
+            "--format" => return Err(wrong("--format", "plan")),
+            "--detail" if action == ShardAction::Plan => {
+                o.detail = match value()? {
+                    "full" => MetricsDetail::Full,
+                    "slim" => MetricsDetail::Slim,
+                    other => return Err(format!("--detail must be full or slim, got {other:?}")),
+                }
+            }
+            "--detail" => return Err(wrong("--detail", "plan")),
+            "--resume" if action == ShardAction::Run => o.resume = true,
+            "--resume" => return Err(wrong("--resume", "run")),
+            "--threads" if action == ShardAction::Run => {
+                o.threads = Some(value()?.parse().map_err(|e| format!("--threads: {e}"))?)
+            }
+            "--threads" => return Err(wrong("--threads", "run")),
+            "--out" if action == ShardAction::Merge => o.out = Some(value()?.to_string()),
+            "--out" => return Err(wrong("--out", "merge")),
+            path if takes_spec && o.spec_path.is_empty() && !path.starts_with("--") => {
+                o.spec_path = path.to_string()
+            }
+            other => return Err(format!("unexpected argument {other}")),
+        }
+    }
+    if takes_spec && o.spec_path.is_empty() {
+        return Err("shard plan/run need a spec file".into());
+    }
+    if o.dir.is_empty() {
+        return Err("--dir is required".into());
+    }
+    if action == ShardAction::Plan && o.shards.is_none() {
+        return Err("shard plan needs --shards".into());
+    }
+    if o.shards == Some(0) {
+        return Err("--shards must be positive".into());
+    }
+    if action == ShardAction::Run && o.shard.is_none() {
+        return Err("shard run needs --shard".into());
+    }
+    if o.threads == Some(0) {
+        return Err("--threads must be positive".into());
+    }
+    Ok(o)
+}
+
 /// Parsed command-line options for `emac run`.
 #[derive(Clone, Debug)]
 pub struct Opts {
@@ -610,6 +742,67 @@ mod tests {
         // MAX below the template's seed count parses here; the frontier
         // spec's validate() rejects it with full context.
         assert_eq!(parse_escalate("1").unwrap(), (1, 1));
+    }
+
+    #[test]
+    fn parses_shard_flags() {
+        let o = parse_shard(&argv(
+            "plan spec.json --dir results/shards --shards 3 --format jsonl --detail slim",
+        ))
+        .unwrap();
+        assert_eq!(o.action, ShardAction::Plan);
+        assert_eq!(o.spec_path, "spec.json");
+        assert_eq!(o.dir, "results/shards");
+        assert_eq!(o.shards, Some(3));
+        assert_eq!(o.format, emac_core::shard::ShardFormat::JsonLines);
+        assert_eq!(o.detail, MetricsDetail::Slim);
+
+        let o =
+            parse_shard(&argv("run spec.json --dir results/shards --shard 1 --resume --threads 2"))
+                .unwrap();
+        assert_eq!(o.action, ShardAction::Run);
+        assert_eq!(o.shard, Some(1));
+        assert!(o.resume);
+        assert_eq!(o.threads, Some(2));
+
+        let o = parse_shard(&argv("merge --dir results/shards --out merged.csv")).unwrap();
+        assert_eq!(o.action, ShardAction::Merge);
+        assert_eq!(o.out.as_deref(), Some("merged.csv"));
+
+        let o = parse_shard(&argv("status --dir results/shards")).unwrap();
+        assert_eq!(o.action, ShardAction::Status);
+    }
+
+    #[test]
+    fn shard_flag_validation() {
+        let err = parse_shard(&argv("prune --dir d")).unwrap_err();
+        assert!(err.contains("unknown shard action"), "{err}");
+        assert!(parse_shard(&argv("")).unwrap_err().contains("needs an action"));
+        assert!(parse_shard(&argv("plan --dir d --shards 2")).unwrap_err().contains("spec file"));
+        assert!(parse_shard(&argv("plan s.json --shards 2")).unwrap_err().contains("--dir"));
+        assert!(parse_shard(&argv("plan s.json --dir d")).unwrap_err().contains("--shards"));
+        assert!(parse_shard(&argv("plan s.json --dir d --shards 0"))
+            .unwrap_err()
+            .contains("--shards must be positive"));
+        assert!(parse_shard(&argv("run s.json --dir d")).unwrap_err().contains("--shard"));
+        assert!(parse_shard(&argv("run s.json --dir d --shard 0 --threads 0"))
+            .unwrap_err()
+            .contains("--threads must be positive"));
+        assert!(parse_shard(&argv("merge")).unwrap_err().contains("--dir"));
+        // flags are action-scoped
+        assert!(parse_shard(&argv("merge --dir d --shards 2"))
+            .unwrap_err()
+            .contains("only for `emac shard plan`"));
+        assert!(parse_shard(&argv("plan s.json --dir d --shards 2 --resume"))
+            .unwrap_err()
+            .contains("only for `emac shard run`"));
+        assert!(parse_shard(&argv("run s.json --dir d --shard 0 --out x"))
+            .unwrap_err()
+            .contains("only for `emac shard merge`"));
+        assert!(parse_shard(&argv("merge --dir d extra.json")).is_err(), "stray positional");
+        assert!(parse_shard(&argv("plan a.json b.json --dir d --shards 2")).is_err());
+        assert!(parse_shard(&argv("plan s.json --dir d --shards x")).is_err());
+        assert!(parse_shard(&argv("plan s.json --dir d --shards")).is_err(), "missing value");
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! Crash-fault shard test: a worker process killed with SIGKILL
+//! mid-bisection — an escalation event in flight — leaves state that
+//! resumes and merges byte-identically, and a merge attempted *before*
+//! the dead shard is resumed is refused with a named error.
+//!
+//! The map is the committed ensemble template without its continuation
+//! clause: two independent points (n = 9 and n = 13, k = 3), 5-seed base
+//! ensemble escalating to 9 lanes on disagreement. The n = 9 point sits
+//! inside the seed-noise window, so escalation events are guaranteed to
+//! be in its checkpoint stream — the kill lands after the first one is
+//! durably recorded.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// Two independent band-map points with escalation (no continuation, so
+/// each point is its own work unit and a 2-shard plan gives one to each
+/// worker).
+const SPEC: &str = r#"{
+  "template": {"algorithm": "k-cycle", "adversary": "spread-from-one-rand",
+               "target": 1, "beta": "1", "rounds": 16000, "probe_cap": 2000},
+  "axis": "rho",
+  "lo": "0.5 * group_share",
+  "hi": "1.25 * k_cycle_threshold",
+  "tol": 0.0005,
+  "map": {"n": [9, 13], "k": [3]},
+  "seeds": [1, 2, 3, 4, 5],
+  "escalate": {"max_seeds": 9, "step": 2}
+}"#;
+
+fn emac() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_emac"))
+}
+
+fn scratch() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("emac-shard-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Count fsync'd probe records in a frontier checkpoint (complete lines
+/// only — a SIGKILL can leave a torn tail).
+fn probe_lines(path: &Path) -> usize {
+    match std::fs::read_to_string(path) {
+        Ok(text) => text
+            .lines()
+            .take(text.matches('\n').count()) // complete lines only
+            .filter(|l| l.starts_with("probe "))
+            .count(),
+        Err(_) => 0,
+    }
+}
+
+/// Whether the checkpoint already holds a *recorded escalation event* —
+/// a probe line with the extra `<diverging> <lanes>` fields.
+fn has_escalation(path: &Path) -> bool {
+    match std::fs::read_to_string(path) {
+        Ok(text) => text
+            .lines()
+            .take(text.matches('\n').count())
+            .any(|l| l.starts_with("probe ") && l.split_whitespace().count() >= 5),
+        Err(_) => false,
+    }
+}
+
+#[test]
+fn killed_worker_resumes_and_merges_byte_identically() {
+    let dir = scratch();
+    let spec = dir.join("map.json");
+    std::fs::write(&spec, SPEC).unwrap();
+
+    // Reference: uninterrupted single-process run through the binary.
+    let single = dir.join("single");
+    let out = emac()
+        .args(["frontier", spec.to_str().unwrap(), "--format", "csv", "--out"])
+        .arg(&single)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "reference run: {}", String::from_utf8_lossy(&out.stderr));
+    let reference = std::fs::read(single.join("frontier.csv")).unwrap();
+    let reference_probes = probe_lines(&single.join("frontier.ckpt"));
+    assert!(reference_probes > 0, "reference checkpoint must record probes");
+
+    // Plan 2 shards: unit 0 (n=9, the escalating point) on shard 0,
+    // unit 1 (n=13) on shard 1.
+    let fleet = dir.join("fleet");
+    let plan = emac()
+        .args(["shard", "plan", spec.to_str().unwrap(), "--dir"])
+        .arg(&fleet)
+        .args(["--shards", "2"])
+        .output()
+        .unwrap();
+    assert!(plan.status.success(), "plan: {}", String::from_utf8_lossy(&plan.stderr));
+
+    // Start shard 0 and SIGKILL it the moment an escalation event is
+    // durably in its checkpoint — mid-bisection by construction, since
+    // converging to tol 0.0005 takes many more probes than one.
+    let ckpt0 = fleet.join("shard-0").join("frontier.ckpt");
+    let mut victim = emac()
+        .args(["shard", "run", spec.to_str().unwrap(), "--dir"])
+        .arg(&fleet)
+        .args(["--shard", "0"])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+    loop {
+        if has_escalation(&ckpt0) {
+            break;
+        }
+        assert!(
+            victim.try_wait().unwrap().is_none(),
+            "worker finished before an escalation event was recorded"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    victim.kill().unwrap(); // SIGKILL — no flush, no cleanup
+    victim.wait().unwrap();
+    let probes_at_kill = probe_lines(&ckpt0);
+    assert!(probes_at_kill > 0, "kill window must capture recorded probes");
+
+    // Shard 1 completes its own unit; it must NOT steal the dead
+    // shard's leased unit.
+    let run1 = emac()
+        .args(["shard", "run", spec.to_str().unwrap(), "--dir"])
+        .arg(&fleet)
+        .args(["--shard", "1"])
+        .output()
+        .unwrap();
+    assert!(run1.status.success(), "shard 1: {}", String::from_utf8_lossy(&run1.stderr));
+
+    // Merging with the dead shard unresumed is refused, by name.
+    let premature = emac().args(["shard", "merge", "--dir"]).arg(&fleet).output().unwrap();
+    assert!(!premature.status.success(), "merge must refuse an unfinished shard");
+    let stderr = String::from_utf8_lossy(&premature.stderr);
+    assert!(
+        stderr.contains("shard 0 is unfinished") && stderr.contains("--resume"),
+        "refusal must name the dead shard and the fix: {stderr}"
+    );
+
+    // Resume the dead shard: replays the recorded probes (escalation
+    // events included) and finishes the bisection.
+    let resume = emac()
+        .args(["shard", "run", spec.to_str().unwrap(), "--dir"])
+        .arg(&fleet)
+        .args(["--shard", "0", "--resume"])
+        .output()
+        .unwrap();
+    assert!(resume.status.success(), "resume: {}", String::from_utf8_lossy(&resume.stderr));
+
+    // Merge: byte-identical to the uninterrupted run, and the fleet ran
+    // exactly the probes the single process ran — the kill neither lost
+    // nor repeated work.
+    let merged_path = fleet.join("merged.csv");
+    let merge = emac().args(["shard", "merge", "--dir"]).arg(&fleet).output().unwrap();
+    assert!(merge.status.success(), "merge: {}", String::from_utf8_lossy(&merge.stderr));
+    let merged = std::fs::read(&merged_path).unwrap();
+    assert_eq!(merged, reference, "merged bytes must match the uninterrupted run");
+
+    let fleet_probes =
+        probe_lines(&ckpt0) + probe_lines(&fleet.join("shard-1").join("frontier.ckpt"));
+    assert_eq!(
+        fleet_probes, reference_probes,
+        "probe conservation: fleet probes must equal single-process probes"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
