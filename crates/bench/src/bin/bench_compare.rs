@@ -2,27 +2,73 @@
 //!
 //! ```text
 //! cargo run --release -p emac-bench --bin bench_compare -- \
-//!     BENCH_engine.json BENCH_engine.smoke.json [--threshold 25]
+//!     BENCH_engine.json BENCH_engine.smoke.json [--threshold 25] \
+//!     [--json diff.json] [--fail-over 60]
 //! ```
 //!
 //! Prints a per-bench delta table (median ns per work item) and a warning
-//! for every bench slower than the threshold (default 25 %). The exit code
-//! is always 0: CI smoke runs execute on noisy shared runners and with
-//! fewer rounds per call than the committed baseline, so this step is a
-//! tripwire for humans reading the log, not a gate. Use the committed
-//! `BENCH_engine.json` as the baseline argument.
+//! for every bench slower than the threshold (default 25 %). By default
+//! the exit code is always 0: CI smoke runs execute on noisy shared
+//! runners and with fewer rounds per call than the committed baseline, so
+//! this step is a tripwire for humans reading the log, not a gate.
+//! `--fail-over PCT` turns it into one: any bench slower than PCT exits
+//! non-zero. `--json PATH` additionally writes the full delta table as a
+//! machine-readable JSON document for dashboards and artifact diffing.
+//! Use the committed `BENCH_engine.json` as the baseline argument.
 
-use emac_bench::timing::{compare_results, load_results};
+use emac_bench::timing::{compare_results, load_results, BenchDelta};
+use emac_core::campaign::json::Json;
 
 fn usage() -> ! {
-    eprintln!("usage: bench_compare <baseline.json> <current.json> [--threshold PCT]");
+    eprintln!(
+        "usage: bench_compare <baseline.json> <current.json> [--threshold PCT] \
+         [--json PATH] [--fail-over PCT]"
+    );
     std::process::exit(2);
+}
+
+/// The machine-readable diff `--json` writes: one entry per bench with
+/// both medians, the delta, and the verdict against each threshold.
+fn diff_json(
+    baseline_path: &str,
+    current_path: &str,
+    threshold: f64,
+    fail_over: Option<f64>,
+    deltas: &[BenchDelta],
+) -> Json {
+    let opt_ns = |v: Option<f64>| v.map_or(Json::Null, Json::Float);
+    let benches: Vec<Json> = deltas
+        .iter()
+        .map(|d| {
+            Json::Obj(vec![
+                ("name".into(), Json::Str(d.name.clone())),
+                ("baseline_ns_per_item".into(), opt_ns(d.baseline)),
+                ("current_ns_per_item".into(), opt_ns(d.current)),
+                ("delta_pct".into(), d.delta_pct().map_or(Json::Null, Json::Float)),
+                ("regressed".into(), Json::Bool(d.regressed(threshold))),
+                ("failed".into(), Json::Bool(fail_over.is_some_and(|limit| d.regressed(limit)))),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("baseline".into(), Json::Str(baseline_path.to_string())),
+        ("current".into(), Json::Str(current_path.to_string())),
+        ("threshold_pct".into(), Json::Float(threshold)),
+        ("fail_over_pct".into(), fail_over.map_or(Json::Null, Json::Float)),
+        (
+            "regressions".into(),
+            Json::Int(deltas.iter().filter(|d| d.regressed(threshold)).count() as i64),
+        ),
+        ("benches".into(), Json::Arr(benches)),
+    ])
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut positional: Vec<&String> = Vec::new();
     let mut threshold = 25.0f64;
+    let mut fail_over: Option<f64> = None;
+    let mut json_path: Option<&String> = None;
     let mut i = 1;
     while i < args.len() {
         if args[i] == "--threshold" {
@@ -30,6 +76,24 @@ fn main() {
                 Some(t) => t,
                 None => {
                     eprintln!("bench_compare: --threshold needs a number (percent)");
+                    usage();
+                }
+            };
+            i += 2;
+        } else if args[i] == "--fail-over" {
+            fail_over = match args.get(i + 1).and_then(|v| v.parse().ok()) {
+                Some(t) => Some(t),
+                None => {
+                    eprintln!("bench_compare: --fail-over needs a number (percent)");
+                    usage();
+                }
+            };
+            i += 2;
+        } else if args[i] == "--json" {
+            json_path = match args.get(i + 1) {
+                Some(p) => Some(p),
+                None => {
+                    eprintln!("bench_compare: --json needs a path");
                     usage();
                 }
             };
@@ -55,8 +119,9 @@ fn main() {
 
     println!("bench baseline comparison: {baseline_path} -> {current_path}");
     println!("{:<28} {:>12} {:>12} {:>9}", "bench", "base ns/it", "cur ns/it", "delta");
+    let deltas = compare_results(&baseline, &current);
     let mut regressions = Vec::new();
-    for delta in compare_results(&baseline, &current) {
+    for delta in &deltas {
         let fmt =
             |v: Option<f64>| v.map_or_else(|| format!("{:>12}", "-"), |x| format!("{x:>12.1}"));
         let delta_txt = match delta.delta_pct() {
@@ -68,6 +133,14 @@ fn main() {
         if delta.regressed(threshold) {
             regressions.push(delta);
         }
+    }
+    if let Some(path) = json_path {
+        let doc = diff_json(baseline_path, current_path, threshold, fail_over, &deltas);
+        if let Err(e) = std::fs::write(path, doc.render_pretty() + "\n") {
+            eprintln!("bench_compare: writing {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("wrote machine-readable diff to {path}");
     }
     if regressions.is_empty() {
         println!("no bench regressed more than {threshold:.0}% (non-fatal check)");
@@ -86,5 +159,19 @@ fn main() {
              (non-fatal: smoke runs are noisy)",
             regressions.len()
         );
+    }
+    if let Some(limit) = fail_over {
+        let failed: Vec<&BenchDelta> = deltas.iter().filter(|d| d.regressed(limit)).collect();
+        if !failed.is_empty() {
+            for f in &failed {
+                println!(
+                    "::error::bench {} regressed {:+.1}%, past the --fail-over gate of {limit:.0}%",
+                    f.name,
+                    f.delta_pct().unwrap_or_default(),
+                );
+            }
+            std::process::exit(1);
+        }
+        println!("no bench regressed past the --fail-over gate of {limit:.0}%");
     }
 }

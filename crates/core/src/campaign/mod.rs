@@ -930,11 +930,13 @@ pub enum MetricsDetail {
     /// time series and the log₂ delay histogram.
     #[default]
     Full,
-    /// Drop the bulky per-run series (`queue_series`, delay histogram) the
-    /// moment a scenario completes, before the report reaches the sink.
-    /// Every scalar metric — counts, maxima, mean delay, energy, the
-    /// stability verdict and slope (classified before slimming) — is
-    /// preserved, so CSV exports are byte-identical to `Full`.
+    /// Drop the bulky per-run series (`queue_series`, delay histogram) and
+    /// the fault telemetry counters the moment a scenario completes, before
+    /// the report reaches the sink. Every scalar metric — counts, maxima,
+    /// mean delay, energy, the stability verdict and slope (classified
+    /// before slimming) — is preserved, so CSV exports are byte-identical
+    /// to `Full`, and Slim JSONL rows are byte-identical whether or not a
+    /// fault plan was armed.
     Slim,
 }
 

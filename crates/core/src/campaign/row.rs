@@ -126,6 +126,17 @@ pub fn report_json(r: &RunReport) -> Json {
             Json::Arr(buckets[..=last].iter().map(|&c| json_u64(c)).collect()),
         ));
     }
+    // Fault telemetry, emitted only when nonzero: fault-free rows (and all
+    // Slim rows — `Metrics::slim` zeroes these) keep their exact bytes.
+    for (key, count) in [
+        ("jammed_rounds", r.metrics.jammed_rounds),
+        ("crashes", r.metrics.crashes),
+        ("deaf_rounds", r.metrics.deaf_rounds),
+    ] {
+        if count != 0 {
+            obj.push((key.into(), json_u64(count)));
+        }
+    }
     Json::Obj(obj)
 }
 

@@ -39,6 +39,22 @@ pub fn repair_torn_tail(path: &Path, text: &str) -> std::io::Result<()> {
     Ok(())
 }
 
+/// Headerless variant of [`repair_torn_tail`] for pure JSON-Lines files
+/// (the observability event log): every complete line stands alone, so a
+/// torn trailing fragment is always truncated back to the last newline —
+/// there is no header to complete. Empty files and files ending in a
+/// newline are left untouched.
+pub fn repair_torn_jsonl(path: &Path, text: &str) -> std::io::Result<()> {
+    if text.ends_with('\n') || text.is_empty() {
+        return Ok(());
+    }
+    let keep = text.rfind('\n').map_or(0, |i| i + 1);
+    let file = OpenOptions::new().write(true).open(path)?;
+    file.set_len(keep as u64)?;
+    file.sync_data()?;
+    Ok(())
+}
+
 /// Reconcile a streaming output file with its checkpoint before resuming:
 /// keep exactly the first `lines` newline-terminated lines (the header, if
 /// any, plus one row per checkpointed scenario) and truncate everything
@@ -128,6 +144,25 @@ mod tests {
         std::fs::write(&path, format!("{row}\n{row}\n{row}\npartial")).unwrap();
         assert_eq!(truncate_after_lines(&path, 2).unwrap(), Some(5_001 + 7));
         assert_eq!(std::fs::metadata(&path).unwrap().len(), 2 * 5_001);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn repair_torn_jsonl_truncates_to_last_newline() {
+        let path = temp_path("jsonl");
+        // torn third line: truncated, no header completion ever
+        std::fs::write(&path, "{\"a\":1}\n{\"b\":2}\n{\"c\":").unwrap();
+        repair_torn_jsonl(&path, "{\"a\":1}\n{\"b\":2}\n{\"c\":").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"a\":1}\n{\"b\":2}\n");
+        // a torn fragment with no newline at all empties the file
+        std::fs::write(&path, "{\"t").unwrap();
+        repair_torn_jsonl(&path, "{\"t").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "");
+        // clean and empty files untouched
+        std::fs::write(&path, "{\"a\":1}\n").unwrap();
+        repair_torn_jsonl(&path, "{\"a\":1}\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"a\":1}\n");
+        repair_torn_jsonl(&path, "").unwrap();
         let _ = std::fs::remove_file(&path);
     }
 

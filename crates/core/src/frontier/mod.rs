@@ -102,6 +102,7 @@ pub mod checkpoint;
 use std::io::Write;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use emac_sim::Rate;
 
@@ -112,6 +113,7 @@ use crate::campaign::{
     Campaign, FnSink, MetricsDetail, RawScenario, ScenarioFactory, ScenarioSpec,
 };
 use crate::digest::Fnv64;
+use crate::obs::{ObsEvent, Observer};
 use crate::stability::Verdict;
 
 pub use checkpoint::FrontierCheckpoint;
@@ -1263,7 +1265,28 @@ impl Frontier {
         F: ScenarioFactory + Sync,
     {
         let all: Vec<usize> = (0..spec.points().len()).collect();
-        self.run_core(spec, &all, factory, sink, checkpoint)
+        self.run_core(spec, &all, factory, sink, checkpoint, &mut Observer::new())
+    }
+
+    /// [`Frontier::run_into`] with an observability seam: probe verdicts
+    /// (with per-probe wall time), refinement waves, escalations, emitted
+    /// rows, and checkpoint fsync latency are recorded on `obs` as they
+    /// happen. Telemetry only — the sink bytes and checkpoint contents are
+    /// identical to an unobserved run, and wall time is sampled at probe
+    /// and row boundaries, never inside the round loop.
+    pub fn run_into_observed<F>(
+        &self,
+        spec: &FrontierSpec,
+        factory: &F,
+        sink: &mut dyn MapSink,
+        checkpoint: Option<&mut FrontierCheckpoint>,
+        obs: &mut Observer,
+    ) -> Result<FrontierSummary, String>
+    where
+        F: ScenarioFactory + Sync,
+    {
+        let all: Vec<usize> = (0..spec.points().len()).collect();
+        self.run_core(spec, &all, factory, sink, checkpoint, obs)
     }
 
     /// Run only the map points in `indices` (strictly ascending global
@@ -1287,7 +1310,24 @@ impl Frontier {
     where
         F: ScenarioFactory + Sync,
     {
-        self.run_core(spec, indices, factory, sink, checkpoint)
+        self.run_core(spec, indices, factory, sink, checkpoint, &mut Observer::new())
+    }
+
+    /// [`Frontier::run_subset_into`] with the observability seam of
+    /// [`Frontier::run_into_observed`].
+    pub fn run_subset_into_observed<F>(
+        &self,
+        spec: &FrontierSpec,
+        indices: &[usize],
+        factory: &F,
+        sink: &mut dyn MapSink,
+        checkpoint: Option<&mut FrontierCheckpoint>,
+        obs: &mut Observer,
+    ) -> Result<FrontierSummary, String>
+    where
+        F: ScenarioFactory + Sync,
+    {
+        self.run_core(spec, indices, factory, sink, checkpoint, obs)
     }
 
     fn run_core<F>(
@@ -1297,6 +1337,7 @@ impl Frontier {
         factory: &F,
         sink: &mut dyn MapSink,
         mut checkpoint: Option<&mut FrontierCheckpoint>,
+        obs: &mut Observer,
     ) -> Result<FrontierSummary, String>
     where
         F: ScenarioFactory + Sync,
@@ -1431,9 +1472,13 @@ impl Frontier {
                 let g = indices[emitted];
                 let row = searches[g].row(g);
                 sink.accept(&row)?;
+                let wall_us = obs.boundary_us();
+                obs.record(&ObsEvent::Row { index: g as u64, rounds: 0, clean: true, wall_us });
                 if let Some(ck) = checkpoint.as_deref_mut() {
+                    let barrier = Instant::now();
                     sink.sync()?;
                     ck.record_row(g)?;
+                    obs.record(&ObsEvent::Fsync { wall_us: barrier.elapsed().as_micros() as u64 });
                 }
                 emitted += 1;
                 summary.completed = emitted;
@@ -1477,8 +1522,9 @@ impl Frontier {
                 // in parallel but their tallies are recorded and applied
                 // in wave order, so the checkpoint and the bisection see
                 // the same sequence at any thread count.
-                let slots: Vec<Mutex<Option<Result<ProbeOutcome, String>>>> =
-                    specs.iter().map(|_| Mutex::new(None)).collect();
+                // A slot holds (probe outcome, worker-measured wall µs).
+                type ProbeSlot = Mutex<Option<(Result<ProbeOutcome, String>, u64)>>;
+                let slots: Vec<ProbeSlot> = specs.iter().map(|_| Mutex::new(None)).collect();
                 let next = AtomicUsize::new(0);
                 let workers = self.threads.min(specs.len()).max(1);
                 std::thread::scope(|scope| {
@@ -1488,31 +1534,46 @@ impl Frontier {
                             if idx >= specs.len() {
                                 break;
                             }
+                            // Workers time their own probes; wall time
+                            // never enters the verdict or the checkpoint.
+                            let started = Instant::now();
                             let out = run_escalating_probe(
                                 &specs[idx],
                                 &spec.seeds,
                                 spec.escalate,
                                 factory,
                             );
-                            *slots[idx].lock().expect("probe slot poisoned") = Some(out);
+                            let wall_us = started.elapsed().as_micros() as u64;
+                            *slots[idx].lock().expect("probe slot poisoned") = Some((out, wall_us));
                         });
                     }
                 });
                 for (idx, slot) in slots.into_iter().enumerate() {
-                    let out = slot
+                    let (out, wall_us) = slot
                         .into_inner()
                         .map_err(|_| "a probe worker panicked".to_string())?
-                        .ok_or("a probe completed without a verdict")??;
+                        .ok_or("a probe completed without a verdict")?;
+                    let out = out?;
                     if out.unclean {
                         unclean += 1;
                     }
                     if out.lanes > spec.seeds.len() {
                         summary.escalated_probes += 1;
+                        obs.record(&ObsEvent::Escalation {
+                            point: wave[idx] as u64,
+                            lanes: out.lanes as u64,
+                        });
                     }
                     let verdict = majority_verdict(out.diverging, out.lanes);
                     if let Some(ck) = checkpoint.as_deref_mut() {
                         ck.record_ensemble_probe(wave[idx], verdict, out.diverging, out.lanes)?;
                     }
+                    obs.record(&ObsEvent::Probe {
+                        point: wave[idx] as u64,
+                        diverging: verdict == Verdict::Diverging,
+                        lanes: out.lanes as u64,
+                        wall_us,
+                    });
                     verdicts[idx] = Some((verdict, Some((out.diverging, out.lanes))));
                 }
             } else {
@@ -1520,6 +1581,7 @@ impl Frontier {
                 let verdicts = &mut verdicts;
                 let unclean = &mut unclean;
                 let mut ck = checkpoint.as_deref_mut();
+                let obs = &mut *obs;
                 let mut wave_sink = FnSink(move |idx: usize, run| {
                     let report = match run.outcome {
                         Ok(report) => report,
@@ -1537,6 +1599,16 @@ impl Frontier {
                     if let Some(ck) = ck.as_deref_mut() {
                         ck.record_probe(wave[idx], verdict)?;
                     }
+                    // Probes arrive in spec order (the campaign's ordered
+                    // hand-off), so the boundary clock decomposes the
+                    // wave's wall time over its probes.
+                    let wall_us = obs.boundary_us();
+                    obs.record(&ObsEvent::Probe {
+                        point: wave[idx] as u64,
+                        diverging: verdict == Verdict::Diverging,
+                        lanes: 1,
+                        wall_us,
+                    });
                     verdicts[idx] = Some((verdict, None));
                     Ok(())
                 });
@@ -1553,6 +1625,7 @@ impl Frontier {
             }
             summary.unclean_probes += unclean;
             summary.waves += 1;
+            obs.record(&ObsEvent::Wave { wave: summary.waves as u64, probes: wave.len() as u64 });
         }
         sink.finish()?;
         Ok(summary)

@@ -95,11 +95,14 @@ impl ClaimTable {
     /// Restore the log line for a lease this shard already holds — the
     /// crash-between-lease-and-log repair. Re-reads the log and appends
     /// only if the line is missing, so it is idempotent across resumes.
-    pub fn ensure_logged(&self, unit: usize, shard: usize) -> Result<(), String> {
+    /// Returns whether a line was actually restored (false when the log
+    /// already held the claim) — the observability layer records a
+    /// lease-repair event exactly for true returns.
+    pub fn ensure_logged(&self, unit: usize, shard: usize) -> Result<bool, String> {
         let text = self.read_log()?;
         let claims = self.parse_log(&text)?;
         if claims.iter().any(|&(u, s)| u == unit && s == shard) {
-            return Ok(());
+            return Ok(false);
         }
         // A torn lease content is also repaired here: the owner is the
         // only process that ever calls this for `unit`.
@@ -114,7 +117,7 @@ impl ClaimTable {
                 .and_then(|()| file.sync_all())
                 .map_err(|e| format!("lease {}: {e}", lease.display()))?;
         }
-        self.append_claim(unit, shard).map(|_| ())
+        self.append_claim(unit, shard)
     }
 
     /// The logged claims as `(unit, shard)` pairs in append order, torn
@@ -271,8 +274,8 @@ mod tests {
         std::fs::write(dir.join("leases").join("unit-1.lease"), "0\n").unwrap();
         assert!(!table.try_claim(1, 0).unwrap(), "lease already held");
         assert_eq!(table.claims().unwrap(), vec![]);
-        table.ensure_logged(1, 0).unwrap();
-        table.ensure_logged(1, 0).unwrap(); // idempotent
+        assert!(table.ensure_logged(1, 0).unwrap(), "first call restores the line");
+        assert!(!table.ensure_logged(1, 0).unwrap(), "idempotent");
         assert_eq!(table.claims().unwrap(), vec![(1, 0)]);
 
         // a torn lease content (kill mid-write) is rewritten by its owner

@@ -34,6 +34,8 @@ pub mod claims;
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::Instant;
 
 use crate::campaign::json::Json;
 use crate::campaign::sink::DurableFile;
@@ -47,6 +49,7 @@ use crate::frontier::{
     CsvMapSink, Frontier, FrontierCheckpoint, FrontierSpec, JsonMapSink, MapSink,
     FRONTIER_BAND_CSV_HEADER, FRONTIER_CSV_HEADER,
 };
+use crate::obs::{EventLog, ObsEvent, ObsReport, ObservedSink, Observer, Progress, RunKind};
 pub use claims::ClaimTable;
 
 const PLAN_MAGIC: &str = "emac-shard-plan v1";
@@ -415,19 +418,27 @@ pub struct ShardRunner {
     dir: PathBuf,
     shard: usize,
     threads: usize,
+    progress: bool,
 }
 
 impl ShardRunner {
     /// A runner for shard `shard` of the plan in `dir`.
     pub fn new(dir: &Path, plan: ShardPlan, shard: usize) -> Result<Self, String> {
         plan.slice(shard)?;
-        Ok(Self { plan, dir: dir.to_path_buf(), shard, threads: 1 })
+        Ok(Self { plan, dir: dir.to_path_buf(), shard, threads: 1, progress: false })
     }
 
     /// Worker threads for the underlying engine (output bytes don't
     /// depend on this).
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Show a live stderr progress line while running (off by default;
+    /// telemetry only, output bytes don't depend on it).
+    pub fn progress(mut self, progress: bool) -> Self {
+        self.progress = progress;
         self
     }
 
@@ -456,11 +467,39 @@ impl ShardRunner {
         let shard_dir = self.shard_dir();
         std::fs::create_dir_all(&shard_dir)
             .map_err(|e| format!("shard dir {}: {e}", shard_dir.display()))?;
-        let claims = ClaimTable::open(&self.dir, self.plan.digest, self.plan.units.len())?;
-        match self.plan.kind {
-            ShardKind::Campaign => self.run_campaign(factory, resume, max_units, &claims),
-            ShardKind::Frontier => self.run_frontier(factory, resume, max_units, &claims),
+        // Every shard run keeps a durable event log next to its checkpoint
+        // — `emac shard status` and `emac obs report` read it, and merge
+        // ignores it (merge reads only the specific output/checkpoint file
+        // names). A resume appends, repairing a torn tail first.
+        let events_path = shard_dir.join("events.jsonl");
+        let log =
+            if resume { EventLog::append(&events_path) } else { EventLog::create(&events_path) }
+                .map_err(|e| format!("event log {}: {e}", events_path.display()))?;
+        let mut observer = Observer::new().with_log(log);
+        if self.progress {
+            let total = self.plan.total_indices() as u64;
+            observer = observer.with_progress(Progress::new(RunKind::Shard, total));
         }
+        observer.record(&ObsEvent::RunStarted {
+            kind: RunKind::Shard,
+            total: self.plan.total_indices() as u64,
+        });
+        let started = Instant::now();
+        let obs = Mutex::new(observer);
+        let claims = ClaimTable::open(&self.dir, self.plan.digest, self.plan.units.len())?;
+        let summary = match self.plan.kind {
+            ShardKind::Campaign => self.run_campaign(factory, resume, max_units, &claims, &obs),
+            ShardKind::Frontier => self.run_frontier(factory, resume, max_units, &claims, &obs),
+        }?;
+        let mut observer = obs.into_inner().expect("observer poisoned");
+        let rounds = observer.rounds_seen();
+        observer.finish(&ObsEvent::RunFinished {
+            kind: RunKind::Shard,
+            done: summary.rows as u64,
+            wall_ms: started.elapsed().as_millis() as u64,
+            rounds,
+        })?;
+        Ok(summary)
     }
 
     /// Claim order: leased-but-unfinished units of ours first (crash
@@ -482,6 +521,7 @@ impl ShardRunner {
         resume: bool,
         max_units: usize,
         claims: &ClaimTable,
+        obs: &Mutex<Observer>,
     ) -> Result<ShardRunSummary, String>
     where
         F: ScenarioFactory + Sync,
@@ -502,8 +542,9 @@ impl ShardRunner {
         let mut summary = ShardRunSummary::default();
         match self.plan.format {
             ShardFormat::Csv => {
-                let mut sink = TallySink::new(CsvStreamSink::appending(writer));
-                self.drive_units(claims, max_units, &mut summary, |unit| {
+                let mut sink =
+                    TallySink::new(ObservedSink::new(CsvStreamSink::appending(writer), obs));
+                self.drive_units(claims, max_units, &mut summary, obs, |unit| {
                     let todo: Vec<usize> =
                         unit.iter().copied().filter(|&i| !ck.is_done(i)).collect();
                     executor.run_subset(&specs, &todo, factory, &mut sink, Some(&mut ck))?;
@@ -513,8 +554,8 @@ impl ShardRunner {
                 summary.failed = sink.failed();
             }
             ShardFormat::JsonLines => {
-                let mut sink = TallySink::new(JsonLinesSink::new(writer));
-                self.drive_units(claims, max_units, &mut summary, |unit| {
+                let mut sink = TallySink::new(ObservedSink::new(JsonLinesSink::new(writer), obs));
+                self.drive_units(claims, max_units, &mut summary, obs, |unit| {
                     let todo: Vec<usize> =
                         unit.iter().copied().filter(|&i| !ck.is_done(i)).collect();
                     executor.run_subset(&specs, &todo, factory, &mut sink, Some(&mut ck))?;
@@ -533,6 +574,7 @@ impl ShardRunner {
         resume: bool,
         max_units: usize,
         claims: &ClaimTable,
+        obs: &Mutex<Observer>,
     ) -> Result<ShardRunSummary, String>
     where
         F: ScenarioFactory + Sync,
@@ -556,11 +598,19 @@ impl ShardRunner {
         let mut summary = ShardRunSummary::default();
         let mut unclean = 0usize;
         let emitted: std::collections::BTreeSet<usize> = ck.row_indices().iter().copied().collect();
-        self.drive_units(claims, max_units, &mut summary, |unit| {
+        self.drive_units(claims, max_units, &mut summary, obs, |unit| {
             if unit.iter().all(|i| emitted.contains(i)) {
                 return Ok(0);
             }
-            let sub = engine.run_subset_into(&spec, unit, factory, sink.as_mut(), Some(&mut ck))?;
+            let mut observer = obs.lock().expect("observer poisoned");
+            let sub = engine.run_subset_into_observed(
+                &spec,
+                unit,
+                factory,
+                sink.as_mut(),
+                Some(&mut ck),
+                &mut observer,
+            )?;
             unclean += sub.unclean_probes;
             Ok(sub.completed)
         })?;
@@ -575,8 +625,10 @@ impl ShardRunner {
         claims: &ClaimTable,
         max_units: usize,
         summary: &mut ShardRunSummary,
+        obs: &Mutex<Observer>,
         mut run_unit: impl FnMut(&[usize]) -> Result<usize, String>,
     ) -> Result<(), String> {
+        let slice = self.plan.slice(self.shard).expect("validated in new()");
         let mut claimed_new = 0usize;
         for u in self.unit_order() {
             let owned = claims.lease_owner(u)? == Some(self.shard);
@@ -584,7 +636,12 @@ impl ShardRunner {
                 // Ours from a previous run: restore a log line a crash may
                 // have lost, then finish whatever the checkpoint says is
                 // left (possibly nothing).
-                claims.ensure_logged(u, self.shard)?;
+                if claims.ensure_logged(u, self.shard)? {
+                    obs.lock().expect("observer poisoned").record(&ObsEvent::LeaseRepair {
+                        shard: self.shard as u64,
+                        unit: u as u64,
+                    });
+                }
             } else {
                 if claimed_new >= max_units {
                     continue;
@@ -593,6 +650,11 @@ impl ShardRunner {
                     continue; // someone else's
                 }
                 claimed_new += 1;
+                obs.lock().expect("observer poisoned").record(&ObsEvent::Claim {
+                    shard: self.shard as u64,
+                    unit: u as u64,
+                    stolen: u < slice.lo || u >= slice.hi,
+                });
             }
             let rows = run_unit(&self.plan.units[u])?;
             if rows > 0 {
@@ -867,8 +929,35 @@ pub fn status(dir: &Path) -> Result<String, String> {
             }
             Err(_) => "not started".to_string(),
         };
+        // Enrich from the shard's event log where one exists. A shard
+        // without a (readable) log is still reported — named explicitly,
+        // degraded to the claim-table view above — never a status failure:
+        // logs are telemetry, and a fleet mixing armed and pre-obs shards
+        // must still be inspectable.
+        let events_path = dir.join(format!("shard-{}", slice.id)).join("events.jsonl");
+        let activity = match std::fs::read_to_string(&events_path) {
+            Ok(text) => {
+                let mut events = ObsReport::default();
+                match events.ingest(&text) {
+                    Ok(()) => {
+                        let a = events
+                            .shards
+                            .iter()
+                            .find(|(id, _)| *id == slice.id as u64)
+                            .map(|&(_, a)| a)
+                            .unwrap_or_default();
+                        format!(
+                            "{} row(s)/{} probe(s) logged, {} steal(s), {} lease repair(s)",
+                            events.rows, events.probes, a.steals, a.lease_repairs
+                        )
+                    }
+                    Err(e) => format!("event log unreadable ({e}); claim-table view only"),
+                }
+            }
+            Err(_) => "no event log; claim-table view only".to_string(),
+        };
         report.push_str(&format!(
-            "  shard {}: slice [{}, {}), {claimed} units claimed, {recorded}\n",
+            "  shard {}: slice [{}, {}), {claimed} units claimed, {recorded}, {activity}\n",
             slice.id, slice.lo, slice.hi
         ));
     }

@@ -124,6 +124,18 @@ impl BatchSimulator {
         &self.lanes[i]
     }
 
+    /// Phase counters summed over every lane (see
+    /// [`crate::hooks::SimHooks`]): lockstep lanes report
+    /// `wake_shared_rounds`, solo-stepping fallbacks report the table or
+    /// enumeration counters instead.
+    pub fn hooks(&self) -> crate::hooks::SimHooks {
+        let mut total = crate::hooks::SimHooks::default();
+        for lane in &self.lanes {
+            total.merge(lane.hooks());
+        }
+        total
+    }
+
     /// Advance every active lane one round.
     pub fn step(&mut self) {
         let Self { lanes, active, round, shared } = self;

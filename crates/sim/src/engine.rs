@@ -22,6 +22,7 @@
 use crate::bitset::BitSet;
 use crate::config::SimConfig;
 use crate::faults::{FaultPlan, RoundFaults};
+use crate::hooks::SimHooks;
 use crate::message::Message;
 use crate::metrics::{Metrics, QueueSample};
 use crate::packet::{Injection, Packet, PacketId, Round, StationId};
@@ -89,6 +90,9 @@ pub struct Simulator {
     next_packet_id: u64,
     metrics: Metrics,
     violations: Violations,
+    /// Phase counters for the observability seam (see [`crate::hooks`]).
+    /// Plain integer adds, never read by the round loop, never digested.
+    hooks: SimHooks,
     // adversary view state
     prev_awake: BitSet,
     on_counts: Vec<u64>,
@@ -164,6 +168,7 @@ impl Simulator {
             next_packet_id: 0,
             metrics: Metrics::sized(n),
             violations: Violations::default(),
+            hooks: SimHooks::default(),
             prev_awake: BitSet::new(n),
             on_counts: vec![0; n],
             last_on: vec![None; n],
@@ -232,6 +237,7 @@ impl Simulator {
         // queue empties now, and packets injected this very round land in
         // the (empty) queue of the dark station.
         let faults: Option<RoundFaults> = self.faults.as_mut().map(|p| p.roll(r, n));
+        self.hooks.fault_rounds += u64::from(faults.is_some());
         if let Some(crashed) = faults.as_ref().and_then(|f| f.crash) {
             self.metrics.crashes += 1;
             let retain = self.faults.as_ref().is_none_or(|p| p.retain_queue());
@@ -291,6 +297,7 @@ impl Simulator {
                 // a station is dark — it resumes with its pre-crash power
                 // state when the outage ends.
                 let plan = self.faults.as_ref().expect("wake-faulted plan");
+                self.hooks.wake_enum_rounds += 1;
                 local_awake.clear();
                 local_mask.clear();
                 for s in 0..n {
@@ -310,8 +317,12 @@ impl Simulator {
                 }
             } else {
                 match (&self.cache, &self.wake) {
-                    (Some(table), _) => table.fill(r, &mut local_mask, &mut local_awake),
+                    (Some(table), _) => {
+                        self.hooks.wake_table_rounds += 1;
+                        table.fill(r, &mut local_mask, &mut local_awake)
+                    }
                     (None, WakeMode::Scheduled(s)) => {
+                        self.hooks.wake_enum_rounds += 1;
                         s.on_set_into(n, r, &mut local_awake);
                         local_mask.clear();
                         for &s in &local_awake {
@@ -319,6 +330,7 @@ impl Simulator {
                         }
                     }
                     (None, WakeMode::Adaptive) => {
+                        self.hooks.wake_enum_rounds += 1;
                         local_awake.clear();
                         local_mask.clear();
                         for s in 0..n {
@@ -336,6 +348,7 @@ impl Simulator {
                 }
             }
         }
+        self.hooks.wake_shared_rounds += u64::from(shared.is_some());
         let (awake, awake_mask): (&[StationId], &BitSet) = match shared {
             Some(sh) => (sh.awake, sh.awake_mask),
             None => (&local_awake, &local_mask),
@@ -512,6 +525,8 @@ impl Simulator {
         }
 
         // 6. Metrics.
+        self.hooks.rounds += 1;
+        self.hooks.feedback_calls += awake_count as u64;
         self.metrics.rounds += 1;
         self.metrics.max_total_queued =
             self.metrics.max_total_queued.max(self.metrics.total_queued);
@@ -633,6 +648,12 @@ impl Simulator {
     /// Metrics collected so far.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// Phase counters collected so far (see [`crate::hooks`]); telemetry
+    /// only, never folded into report digests.
+    pub fn hooks(&self) -> &SimHooks {
+        &self.hooks
     }
 
     /// Invariant violations recorded so far.

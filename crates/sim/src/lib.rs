@@ -71,6 +71,7 @@ pub mod bitset;
 pub mod config;
 pub mod engine;
 pub mod faults;
+pub mod hooks;
 pub mod message;
 pub mod metrics;
 pub mod packet;
@@ -88,6 +89,7 @@ pub use bitset::BitSet;
 pub use config::SimConfig;
 pub use engine::Simulator;
 pub use faults::{FaultPlan, FaultSpec, RoundFaults};
+pub use hooks::SimHooks;
 pub use message::{bits_for, BitReader, ControlBits, Message};
 pub use metrics::{DelayStats, Metrics, QueueSample};
 pub use packet::{Injection, Packet, PacketId, Round, StationId};

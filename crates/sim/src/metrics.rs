@@ -202,10 +202,16 @@ impl Metrics {
     /// sums, energy, per-station tallies) intact. This is the campaign
     /// layer's `Slim` metrics detail: derived scalars such as the mean
     /// delay, the maximum queue, and a stability slope computed *before*
-    /// slimming are unaffected.
+    /// slimming are unaffected. The fault telemetry counters
+    /// (`jammed_rounds`, `crashes`, `deaf_rounds`) are zeroed too: they are
+    /// `Full`-detail telemetry, and zeroing them keeps Slim JSONL exports
+    /// byte-identical whether or not a fault plan was armed.
     pub fn slim(&mut self) {
         self.queue_series = Vec::new();
         self.delay.clear_buckets();
+        self.jammed_rounds = 0;
+        self.crashes = 0;
+        self.deaf_rounds = 0;
     }
 
     /// Least-squares slope of the sampled queue-size series over its second
@@ -304,8 +310,12 @@ mod tests {
         for r in 0..10u64 {
             m.queue_series.push(QueueSample { round: r, total_queued: r });
         }
+        m.jammed_rounds = 5;
+        m.crashes = 2;
+        m.deaf_rounds = 1;
         let mean_before = m.delay.mean();
         m.slim();
+        assert_eq!((m.jammed_rounds, m.crashes, m.deaf_rounds), (0, 0, 0));
         assert!(m.queue_series.is_empty());
         assert!(m.delay.log2_buckets().iter().all(|&c| c == 0));
         assert_eq!(m.delay.count(), 3);

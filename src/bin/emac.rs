@@ -6,14 +6,17 @@
 //!          [--probe-cap 5000] [--jam 1/10 | --faults '{"jam":"1/10","seed":7}']
 //! emac campaign spec.json [--threads N] [--out DIR]
 //!               [--format csv|jsonl] [--detail full|slim] [--resume] [--limit M]
+//!               [--progress] [--events FILE]
 //! emac campaign --example
 //! emac frontier template.json [--axis rho|beta|k|ell|jam_rate] [--tol T] [--escalate S[:D]]
 //!               [--threads N] [--out DIR] [--format csv|jsonl] [--resume] [--max-waves M]
+//!               [--progress] [--events FILE]
 //! emac frontier --example
 //! emac shard plan spec.json --dir DIR --shards D [--format csv|jsonl] [--detail full|slim]
-//! emac shard run spec.json --dir DIR --shard S [--resume] [--threads N]
+//! emac shard run spec.json --dir DIR --shard S [--resume] [--threads N] [--progress]
 //! emac shard merge --dir DIR [--out FILE]
 //! emac shard status --dir DIR
+//! emac obs report events.jsonl...
 //! emac list
 //! ```
 //!
@@ -30,11 +33,16 @@
 //! discipline. `shard` splits either kind of run across a fleet of
 //! independent workers that share a work-stealing claim table and merge
 //! back to bytes identical to a single-process run (see
-//! `emac_core::shard`). All parsing and construction logic lives in
-//! [`emac::cli`] and [`emac::registry`].
+//! `emac_core::shard`). `--progress` renders a live stderr line and
+//! `--events` appends a structured JSONL event log (`emac_core::obs`);
+//! neither touches output bytes or digests. `obs report` aggregates one
+//! or more event logs into rate and latency summaries. All parsing and
+//! construction logic lives in [`emac::cli`] and [`emac::registry`].
 
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Mutex;
+use std::time::Instant;
 
 use emac::cli;
 use emac::core::campaign::{
@@ -47,6 +55,7 @@ use emac::core::frontier::{
 };
 use emac::core::prelude::*;
 use emac::core::shard::{ShardPlan, ShardRunner};
+use emac::core::{EventLog, ObsEvent, ObsReport, ObservedSink, Observer, Progress, RunKind};
 use emac::registry::{Registry, ADVERSARIES, ALGORITHMS};
 
 fn main() -> ExitCode {
@@ -56,6 +65,7 @@ fn main() -> ExitCode {
         Some("campaign") => campaign(&args[1..]),
         Some("frontier") => frontier(&args[1..]),
         Some("shard") => shard(&args[1..]),
+        Some("obs") => obs(&args[1..]),
         Some("list") => {
             list();
             ExitCode::SUCCESS
@@ -74,16 +84,18 @@ fn usage() {
          [--trace N] [--cap C] [--target S] [--dest S] [--period R] [--horizon R]\n           \
          [--probe-cap Q] [--jam P/Q | --faults JSON]\n  \
          emac campaign <spec.json> [--threads N] [--out DIR]\n           \
-         [--format csv|jsonl] [--detail full|slim] [--resume] [--limit M]\n  \
+         [--format csv|jsonl] [--detail full|slim] [--resume] [--limit M]\n           \
+         [--progress] [--events FILE]\n  \
          emac campaign --example   # print a commented example spec\n  \
          emac frontier <template.json> [--axis rho|beta|k|ell|jam_rate] [--tol T]\n           \
          [--escalate S[:D]] [--threads N] [--out DIR] [--format csv|jsonl]\n           \
-         [--resume] [--max-waves M]\n  \
+         [--resume] [--max-waves M] [--progress] [--events FILE]\n  \
          emac frontier --example   # print an example template\n  \
          emac shard plan <spec.json> --dir DIR --shards D [--format csv|jsonl] [--detail full|slim]\n  \
-         emac shard run <spec.json> --dir DIR --shard S [--resume] [--threads N]\n  \
+         emac shard run <spec.json> --dir DIR --shard S [--resume] [--threads N] [--progress]\n  \
          emac shard merge --dir DIR [--out FILE]\n  \
          emac shard status --dir DIR\n  \
+         emac obs report <events.jsonl>...\n  \
          emac list"
     );
 }
@@ -288,6 +300,26 @@ fn campaign_streamed(
         specs.len(),
         already
     );
+    // The observer sits strictly outside the row bytes: it wraps the sink,
+    // so arming it cannot change what lands in the output or the digest.
+    let observer = match build_observer(
+        RunKind::Campaign,
+        todo.len() as u64,
+        opts.progress,
+        opts.events.as_deref(),
+        opts.resume,
+    ) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let obs = Mutex::new(observer);
+    obs.lock()
+        .expect("observer poisoned")
+        .record(&ObsEvent::RunStarted { kind: RunKind::Campaign, total: todo.len() as u64 });
+    let started = Instant::now();
     let (outcome, ok, unclean, failed) = match format {
         cli::CampaignFormat::Csv => {
             let inner = if already > 0 {
@@ -295,16 +327,33 @@ fn campaign_streamed(
             } else {
                 CsvStreamSink::new(writer)
             };
-            run_tallied(executor, specs, &todo, TallySink::new(inner), &mut ckpt)
+            run_tallied(
+                executor,
+                specs,
+                &todo,
+                TallySink::new(ObservedSink::new(inner, &obs)),
+                &mut ckpt,
+            )
         }
         cli::CampaignFormat::JsonLines => run_tallied(
             executor,
             specs,
             &todo,
-            TallySink::new(JsonLinesSink::new(writer)),
+            TallySink::new(ObservedSink::new(JsonLinesSink::new(writer), &obs)),
             &mut ckpt,
         ),
     };
+    let mut observer = obs.into_inner().expect("observer poisoned");
+    let rounds = observer.rounds_seen();
+    let finished = observer.finish(&ObsEvent::RunFinished {
+        kind: RunKind::Campaign,
+        done: (ok + unclean + failed) as u64,
+        wall_ms: started.elapsed().as_millis() as u64,
+        rounds,
+    });
+    if let Err(e) = finished {
+        eprintln!("warning: event log: {e}");
+    }
     if let Err(e) = outcome {
         eprintln!("error: {e}");
         eprintln!("{} scenarios checkpointed; rerun with --resume to continue", ckpt.completed());
@@ -339,6 +388,61 @@ fn run_tallied<S: ResultSink>(
 ) -> (Result<(), String>, usize, usize, usize) {
     let outcome = executor.run_subset(specs, todo, &Registry, &mut sink, Some(ckpt));
     (outcome, sink.ok(), sink.unclean(), sink.failed())
+}
+
+/// Build the observer a CLI run asked for: `--events` arms the durable
+/// JSONL log (appending — with torn-tail repair — when `--resume` is
+/// set), `--progress` the live stderr line. Neither flag leaves the
+/// observer disarmed: every record is a no-op and no clock is read.
+fn build_observer(
+    kind: RunKind,
+    total: u64,
+    progress: bool,
+    events: Option<&str>,
+    resume: bool,
+) -> Result<Observer, String> {
+    let mut observer = Observer::new();
+    if let Some(path) = events {
+        let path = Path::new(path);
+        let log = if resume { EventLog::append(path) } else { EventLog::create(path) }
+            .map_err(|e| format!("event log {}: {e}", path.display()))?;
+        observer = observer.with_log(log);
+    }
+    if progress {
+        observer = observer.with_progress(Progress::new(kind, total));
+    }
+    Ok(observer)
+}
+
+/// `emac obs report`: aggregate one or more event logs into rate and
+/// latency summaries. Exits non-zero on an unreadable file or a
+/// malformed event line — a log that does not round-trip through the
+/// parser is a bug, not noise to skip.
+fn obs(args: &[String]) -> ExitCode {
+    let opts = match cli::parse_obs(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            return ExitCode::from(2);
+        }
+    };
+    let mut report = ObsReport::default();
+    for path in &opts.files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if let Err(e) = report.ingest(&text) {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    print!("{}", report.render());
+    ExitCode::SUCCESS
 }
 
 const EXAMPLE_FRONTIER: &str = r#"{
@@ -477,17 +581,57 @@ fn frontier(args: &[String]) -> ExitCode {
         spec.axis.name(),
         spec.tol
     );
+    // Observability wraps the engine from the outside: probe verdicts,
+    // row bytes, and the checkpoint are computed before any event fires.
+    let remaining = (points - already) as u64;
+    let mut observer = match build_observer(
+        RunKind::Frontier,
+        remaining,
+        opts.progress,
+        opts.events.as_deref(),
+        opts.resume,
+    ) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    observer.record(&ObsEvent::RunStarted { kind: RunKind::Frontier, total: remaining });
+    let started = Instant::now();
     let outcome = match opts.format {
         cli::FrontierFormat::Csv => {
             let mut sink =
                 if already > 0 { CsvMapSink::appending(writer) } else { CsvMapSink::new(writer) };
-            engine.run_into(&spec, &Registry, &mut sink as &mut dyn MapSink, Some(&mut ckpt))
+            engine.run_into_observed(
+                &spec,
+                &Registry,
+                &mut sink as &mut dyn MapSink,
+                Some(&mut ckpt),
+                &mut observer,
+            )
         }
         cli::FrontierFormat::JsonLines => {
             let mut sink = JsonMapSink::new(writer);
-            engine.run_into(&spec, &Registry, &mut sink as &mut dyn MapSink, Some(&mut ckpt))
+            engine.run_into_observed(
+                &spec,
+                &Registry,
+                &mut sink as &mut dyn MapSink,
+                Some(&mut ckpt),
+                &mut observer,
+            )
         }
     };
+    let rounds = observer.rounds_seen();
+    let finished = observer.finish(&ObsEvent::RunFinished {
+        kind: RunKind::Frontier,
+        done: ckpt.rows_written().saturating_sub(already) as u64,
+        wall_ms: started.elapsed().as_millis() as u64,
+        rounds,
+    });
+    if let Err(e) = finished {
+        eprintln!("warning: event log: {e}");
+    }
     let summary = match outcome {
         Ok(s) => s,
         Err(e) => {
@@ -599,7 +743,7 @@ fn shard(args: &[String]) -> ExitCode {
             }
             let shard_id = opts.shard.unwrap();
             let runner = match ShardRunner::new(dir, plan, shard_id) {
-                Ok(r) => r.threads(opts.threads.unwrap_or(1)),
+                Ok(r) => r.threads(opts.threads.unwrap_or(1)).progress(opts.progress),
                 Err(e) => {
                     eprintln!("error: {e}");
                     return ExitCode::from(2);
@@ -784,6 +928,13 @@ fn run(args: &[String]) -> ExitCode {
     println!("{report}");
     if let Some(r) = report.tripped_round {
         println!("  probe: queue cap tripped at round {r}");
+    }
+    let m = &report.metrics;
+    if m.jammed_rounds != 0 || m.crashes != 0 || m.deaf_rounds != 0 {
+        println!(
+            "  faults: {} jammed round(s), {} crash(es), {} deaf round(s)",
+            m.jammed_rounds, m.crashes, m.deaf_rounds
+        );
     }
     println!("  digest: {}", emac::core::digest::report_digest_hex(&report));
     if report.clean() {

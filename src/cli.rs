@@ -52,6 +52,11 @@ pub struct CampaignOpts {
     /// Run at most this many (remaining) scenarios, then stop with the
     /// checkpoint intact — bounded work chunks for long campaigns.
     pub limit: Option<usize>,
+    /// Render a live progress line on stderr (`--progress`).
+    pub progress: bool,
+    /// Append structured observability events to this JSONL path
+    /// (`--events`); `None` leaves the event log disarmed.
+    pub events: Option<String>,
 }
 
 /// Parse `emac campaign` flags. Streaming-only flags (`--resume`,
@@ -67,6 +72,8 @@ pub fn parse_campaign(args: &[String]) -> Result<CampaignOpts, String> {
         detail: MetricsDetail::Full,
         resume: false,
         limit: None,
+        progress: false,
+        events: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -94,6 +101,8 @@ pub fn parse_campaign(args: &[String]) -> Result<CampaignOpts, String> {
             }
             "--resume" => o.resume = true,
             "--limit" => o.limit = Some(value()?.parse().map_err(|e| format!("--limit: {e}"))?),
+            "--progress" => o.progress = true,
+            "--events" => o.events = Some(value()?.to_string()),
             path if o.spec_path.is_empty() && !path.starts_with("--") => {
                 o.spec_path = path.to_string()
             }
@@ -163,6 +172,11 @@ pub struct FrontierOpts {
     /// Run at most this many refinement waves, then stop with the
     /// checkpoint intact — bounded work chunks for wide maps.
     pub max_waves: Option<usize>,
+    /// Render a live progress line on stderr (`--progress`).
+    pub progress: bool,
+    /// Append structured observability events to this JSONL path
+    /// (`--events`); `None` leaves the event log disarmed.
+    pub events: Option<String>,
 }
 
 /// Parse `emac frontier` flags.
@@ -178,6 +192,8 @@ pub fn parse_frontier(args: &[String]) -> Result<FrontierOpts, String> {
         format: FrontierFormat::Csv,
         resume: false,
         max_waves: None,
+        progress: false,
+        events: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -203,6 +219,8 @@ pub fn parse_frontier(args: &[String]) -> Result<FrontierOpts, String> {
             "--max-waves" => {
                 o.max_waves = Some(value()?.parse().map_err(|e| format!("--max-waves: {e}"))?)
             }
+            "--progress" => o.progress = true,
+            "--events" => o.events = Some(value()?.to_string()),
             path if o.spec_path.is_empty() && !path.starts_with("--") => {
                 o.spec_path = path.to_string()
             }
@@ -262,6 +280,9 @@ pub struct ShardOpts {
     pub threads: Option<usize>,
     /// Merged-output path override (`--out`, `merge` only).
     pub out: Option<String>,
+    /// Render a live progress line on stderr (`--progress`, `run` only).
+    /// The per-shard event log under `shard-S/events.jsonl` is always on.
+    pub progress: bool,
 }
 
 /// Parse `emac shard` flags. The first positional names the action;
@@ -289,6 +310,7 @@ pub fn parse_shard(args: &[String]) -> Result<ShardOpts, String> {
         resume: false,
         threads: None,
         out: None,
+        progress: false,
     };
     let takes_spec = matches!(action, ShardAction::Plan | ShardAction::Run);
     while let Some(arg) = it.next() {
@@ -329,6 +351,8 @@ pub fn parse_shard(args: &[String]) -> Result<ShardOpts, String> {
             "--threads" => return Err(wrong("--threads", "run")),
             "--out" if action == ShardAction::Merge => o.out = Some(value()?.to_string()),
             "--out" => return Err(wrong("--out", "merge")),
+            "--progress" if action == ShardAction::Run => o.progress = true,
+            "--progress" => return Err(wrong("--progress", "run")),
             path if takes_spec && o.spec_path.is_empty() && !path.starts_with("--") => {
                 o.spec_path = path.to_string()
             }
@@ -354,6 +378,34 @@ pub fn parse_shard(args: &[String]) -> Result<ShardOpts, String> {
         return Err("--threads must be positive".into());
     }
     Ok(o)
+}
+
+/// Parsed command-line options for `emac obs`.
+#[derive(Clone, Debug)]
+pub struct ObsOpts {
+    /// Event-log paths to aggregate (`emac obs report FILE...`). One
+    /// report covers all of them, so a fleet's shard logs can be summed.
+    pub files: Vec<String>,
+}
+
+/// Parse `emac obs` flags. The only action today is `report`, which
+/// aggregates one or more `events.jsonl` files into rate and latency
+/// summaries.
+pub fn parse_obs(args: &[String]) -> Result<ObsOpts, String> {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("report") => {}
+        Some(other) => return Err(format!("unknown obs action {other:?} (report)")),
+        None => return Err("obs needs an action (report)".into()),
+    }
+    let files: Vec<String> = it.map(String::clone).collect();
+    if files.is_empty() {
+        return Err("obs report needs at least one events.jsonl path".into());
+    }
+    if let Some(flag) = files.iter().find(|f| f.starts_with("--")) {
+        return Err(format!("unexpected argument {flag}"));
+    }
+    Ok(ObsOpts { files })
 }
 
 /// Parsed command-line options for `emac run`.
@@ -665,7 +717,13 @@ mod tests {
         assert_eq!(o.format, None);
         assert_eq!(o.detail, MetricsDetail::Full);
         assert!(!o.resume && o.limit.is_none());
+        assert!(!o.progress && o.events.is_none(), "observability defaults off");
         assert!(parse_campaign(&argv("--example")).unwrap().example);
+
+        let o = parse_campaign(&argv("spec.json --progress --events ev.jsonl")).unwrap();
+        assert!(o.progress);
+        assert_eq!(o.events.as_deref(), Some("ev.jsonl"));
+        assert!(parse_campaign(&argv("spec.json --events")).is_err(), "missing value");
     }
 
     #[test]
@@ -704,7 +762,13 @@ mod tests {
         let o = parse_frontier(&argv("map.json")).unwrap();
         assert_eq!(o.format, FrontierFormat::Csv);
         assert!(o.axis.is_none() && o.tol.is_none() && o.escalate.is_none() && !o.resume);
+        assert!(!o.progress && o.events.is_none(), "observability defaults off");
         assert!(parse_frontier(&argv("--example")).unwrap().example);
+
+        let o = parse_frontier(&argv("map.json --progress --events ev.jsonl")).unwrap();
+        assert!(o.progress);
+        assert_eq!(o.events.as_deref(), Some("ev.jsonl"));
+        assert!(parse_frontier(&argv("map.json --events")).is_err(), "missing value");
     }
 
     #[test]
@@ -757,13 +821,15 @@ mod tests {
         assert_eq!(o.format, emac_core::shard::ShardFormat::JsonLines);
         assert_eq!(o.detail, MetricsDetail::Slim);
 
-        let o =
-            parse_shard(&argv("run spec.json --dir results/shards --shard 1 --resume --threads 2"))
-                .unwrap();
+        let o = parse_shard(&argv(
+            "run spec.json --dir results/shards --shard 1 --resume --threads 2 --progress",
+        ))
+        .unwrap();
         assert_eq!(o.action, ShardAction::Run);
         assert_eq!(o.shard, Some(1));
         assert!(o.resume);
         assert_eq!(o.threads, Some(2));
+        assert!(o.progress);
 
         let o = parse_shard(&argv("merge --dir results/shards --out merged.csv")).unwrap();
         assert_eq!(o.action, ShardAction::Merge);
@@ -799,10 +865,23 @@ mod tests {
         assert!(parse_shard(&argv("run s.json --dir d --shard 0 --out x"))
             .unwrap_err()
             .contains("only for `emac shard merge`"));
+        assert!(parse_shard(&argv("merge --dir d --progress"))
+            .unwrap_err()
+            .contains("only for `emac shard run`"));
         assert!(parse_shard(&argv("merge --dir d extra.json")).is_err(), "stray positional");
         assert!(parse_shard(&argv("plan a.json b.json --dir d --shards 2")).is_err());
         assert!(parse_shard(&argv("plan s.json --dir d --shards x")).is_err());
         assert!(parse_shard(&argv("plan s.json --dir d --shards")).is_err(), "missing value");
+    }
+
+    #[test]
+    fn parses_obs_flags() {
+        let o = parse_obs(&argv("report a/events.jsonl b/events.jsonl")).unwrap();
+        assert_eq!(o.files, vec!["a/events.jsonl".to_string(), "b/events.jsonl".to_string()]);
+        assert!(parse_obs(&argv("")).unwrap_err().contains("needs an action"));
+        assert!(parse_obs(&argv("tail ev.jsonl")).unwrap_err().contains("unknown obs action"));
+        assert!(parse_obs(&argv("report")).unwrap_err().contains("at least one"));
+        assert!(parse_obs(&argv("report --json")).unwrap_err().contains("unexpected"));
     }
 
     #[test]

@@ -168,4 +168,37 @@ fn steady_state_steps_do_not_allocate() {
     for lane in batch.into_lanes() {
         assert!(lane.violations().is_clean(), "{}", lane.violations());
     }
+
+    // --- Case 6: observability stays out of the round loop. An armed
+    // Observer (event log + progress line) exists for the whole window,
+    // but by construction it is only touched at row/probe boundaries —
+    // so steady-state rounds still allocate nothing, while the engine's
+    // phase-timer hooks (plain u64 counters) keep advancing per round.
+    let cfg =
+        emac_sim::SimConfig::new(16, 4).adversary_type(rho, Rate::integer(2)).sample_every(1 << 40);
+    let mut sim = Simulator::new(cfg, KCycle::new(4).build(16), Box::new(UniformRandom::new(3)));
+    sim.run(60_000);
+    let log_path =
+        std::env::temp_dir().join(format!("emac-alloc-free-{}.jsonl", std::process::id()));
+    let log = emac_core::obs::EventLog::create(&log_path).unwrap();
+    let mut observer = emac_core::obs::Observer::new()
+        .with_log(log)
+        .with_progress(emac_core::obs::Progress::new(emac_core::obs::RunKind::Campaign, 1));
+    assert!(observer.is_armed());
+    let hooks_before = sim.hooks().rounds;
+    let (allocs, deallocs) = count_allocs(&mut sim, 4_096);
+    assert_eq!((allocs, deallocs), (0, 0), "armed observability must cost the round loop nothing");
+    assert_eq!(sim.hooks().rounds, hooks_before + 4_096, "phase-timer hooks advance every round");
+    assert!(sim.hooks().wake_table_rounds > 0, "k-cycle rounds wake via the schedule table");
+    // The boundary is where observability spends: the wall clock is read
+    // and the row event rendered outside the measured window.
+    let wall_us = observer.boundary_us();
+    observer.record(&emac_core::obs::ObsEvent::Row {
+        index: 0,
+        rounds: 4_096,
+        clean: true,
+        wall_us,
+    });
+    observer.flush().unwrap();
+    let _ = std::fs::remove_file(&log_path);
 }
